@@ -1,0 +1,51 @@
+"""Ablation benchmarks: Monte-Carlo children, incremental evaluation,
+degradation-model order, weight sensitivity, optimiser families."""
+
+from repro.experiments.ablations import (
+    run_degradation_ablation,
+    run_incremental_speedup,
+    run_monte_carlo_ablation,
+    run_optimizer_comparison,
+    run_weight_sensitivity,
+)
+
+
+def test_ablation_monte_carlo(once):
+    result = once(lambda: run_monte_carlo_ablation(quick=True, seeds=(1, 2, 3)))
+    print()
+    print(result.render())
+    # MC children may not help on every seed, but the mechanism must be
+    # exercised and reported; the paper's claim is about escape
+    # probability, which the mean across seeds tracks.
+    assert len(result.rows) == 2
+
+
+def test_ablation_incremental_speedup(once):
+    result = once(lambda: run_incremental_speedup(quick=True))
+    print()
+    print(result.render())
+    speedup = float(result.rows[2][1].rstrip("x"))
+    assert speedup > 3.0, "incremental evaluation must be much faster than from-scratch"
+
+
+def test_ablation_degradation_model(once):
+    result = once(lambda: run_degradation_ablation(quick=True))
+    print()
+    print(result.render())
+    assert len(result.rows) == 2
+
+
+def test_ablation_weight_sensitivity(once):
+    result = once(lambda: run_weight_sensitivity(quick=True))
+    print()
+    print(result.render())
+    assert len(result.rows) == 3
+
+
+def test_ablation_optimizer_comparison(once):
+    result = once(lambda: run_optimizer_comparison(quick=True))
+    print()
+    print(result.render())
+    costs = {row[0]: float(row[1]) for row in result.rows}
+    # The paper's choice must beat unguided sampling.
+    assert costs["evolution (paper)"] < costs["random search"]

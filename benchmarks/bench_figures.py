@@ -1,0 +1,64 @@
+"""Figure regenerations: Fig. 1 (sensor behaviour), Fig. 2 (partition
+shape), Figs. 4-5 (C17 evolution walk-through) and the §1 motivation
+coverage experiment."""
+
+from repro.experiments.complement import run_complement
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure45 import run_figure45
+from repro.experiments.motivation import run_motivation_coverage
+
+
+def test_figure1_sensor_behaviour(once):
+    result = once(lambda: run_figure1(quick=True))
+    print()
+    print(result.render())
+    decisions = [row[3] for row in result.rows]
+    assert "PASS" in decisions and "FAIL" in decisions
+    # Monotone: once FAIL, always FAIL for larger defect currents.
+    first_fail = decisions.index("FAIL")
+    assert all(d == "FAIL" for d in decisions[first_fail:])
+
+
+def test_figure2_partition_shape(once):
+    result = once(lambda: run_figure2(size=8, quick=True))
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows}
+    wave_row = rows["wave array / by row (partition 1)"]
+    wave_col = rows["wave array / by column (partition 2)"]
+    assert wave_col[2] > 4 * wave_row[2], "column groups must draw far more current"
+    assert wave_col[3] > wave_row[3], "and need bigger sensors"
+    mult_row = rows["multiplier / by row (partition 1)"]
+    mult_band = rows["multiplier / by level band (partition 2)"]
+    assert mult_band[3] > mult_row[3], "effect keeps its sign on the multiplier"
+
+
+def test_figure45_c17_walkthrough(once):
+    result = once(lambda: run_figure45(quick=True, seed=11))
+    print()
+    print(result.render())
+    notes = "\n".join(result.notes)
+    assert "exhaustive minimum matches the paper's optimum: True" in notes
+    assert "evolution strategy found it: True" in notes
+
+
+def test_complement_logic_vs_iddq(once):
+    result = once(lambda: run_complement(quick=True))
+    print()
+    print(result.render())
+    assert len(result.rows) == 2
+    iddq_cov = float(result.rows[1][2].rstrip("%"))
+    assert iddq_cov > 50.0, "IDDQ must catch most current defects"
+
+
+def test_motivation_single_vs_partitioned(once):
+    result = once(lambda: run_motivation_coverage(quick=True))
+    print()
+    print(result.render())
+    single_cov = float(result.rows[0][3].rstrip("%"))
+    multi_cov = float(result.rows[1][3].rstrip("%"))
+    assert multi_cov > single_cov, "partitioning must restore coverage"
+    single_th = float(result.rows[0][2])
+    multi_th = float(result.rows[1][2])
+    assert multi_th < single_th, "partitioning must keep thresholds tight"

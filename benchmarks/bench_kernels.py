@@ -1,0 +1,102 @@
+"""Kernel benchmarks: the computations whose efficiency the paper's
+method depends on (§3 estimators, §4.2 incremental evaluation).
+
+These use real pytest-benchmark statistics (many rounds), unlike the
+whole-experiment benches.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.transition_times import TransitionTimes
+from repro.faultsim.logic_sim import LogicSimulator
+from repro.faultsim.patterns import random_patterns
+from repro.netlist.benchmarks import load_iscas85
+from repro.optimize.start import chain_start_partition, estimate_module_count
+from repro.partition.evaluator import PartitionEvaluator
+
+
+@pytest.fixture(scope="module")
+def c7552_evaluator():
+    return PartitionEvaluator(load_iscas85("c7552"))
+
+
+@pytest.fixture(scope="module")
+def c7552_state(c7552_evaluator):
+    rng = random.Random(0)
+    k = estimate_module_count(c7552_evaluator)
+    partition = chain_start_partition(c7552_evaluator, k, rng)
+    return c7552_evaluator.new_state(partition)
+
+
+def test_transition_time_sets_c7552(benchmark):
+    """T(g) for all 3512 gates of the largest Table 1 circuit."""
+    circuit = load_iscas85("c7552")
+    result = benchmark(lambda: TransitionTimes.compute(circuit))
+    assert result.depth == circuit.depth
+
+
+def test_full_evaluation_c7552(benchmark, c7552_evaluator, c7552_state):
+    """From-scratch cost evaluation of one partition."""
+    partition = c7552_state.partition
+
+    def evaluate():
+        return c7552_evaluator.evaluate(partition).cost
+
+    cost = benchmark(evaluate)
+    assert cost > 0
+
+
+def test_incremental_move_c7552(benchmark, c7552_evaluator, c7552_state):
+    """One gate move + full cost readout on the incremental state —
+    the §4.2 operation the evolution strategy performs thousands of
+    times ("evaluated very efficiently")."""
+    state = c7552_state.copy()
+    n = len(c7552_evaluator.circuit.gate_names)
+    rng = random.Random(1)
+
+    def move_and_cost():
+        gate = rng.randrange(n)
+        targets = [
+            m for m in state.partition.module_ids if m != state.partition.module_of(gate)
+        ]
+        state.move_gate(gate, targets[0])
+        return state.penalized_cost(1e4)
+
+    cost = benchmark(move_and_cost)
+    assert cost > 0
+
+
+def test_degraded_timing_c7552(benchmark, c7552_evaluator, c7552_state):
+    """Vectorised longest path with degraded delays (the c2 kernel)."""
+    delays = c7552_state.delay_degraded
+
+    def longest_path():
+        return c7552_evaluator.timing.critical_path_delay(delays)
+
+    value = benchmark(longest_path)
+    assert value >= c7552_evaluator.nominal_delay_ns
+
+
+def test_separation_delta_c7552(benchmark, c7552_evaluator, c7552_state):
+    """Incremental separation delta for one gate against a module."""
+    matrix = c7552_evaluator.separation
+    group = np.fromiter(
+        c7552_state.partition.gates_of(c7552_state.partition.module_ids[0]),
+        dtype=np.int64,
+    )
+
+    value = benchmark(lambda: matrix.sum_to_group(7, group))
+    assert value >= 0
+
+
+def test_logic_sim_throughput_c7552(benchmark):
+    """Bit-parallel logic simulation: 1024 vectors through 3512 gates."""
+    circuit = load_iscas85("c7552")
+    sim = LogicSimulator(circuit)
+    patterns = random_patterns(len(circuit.input_names), 1024, seed=5)
+
+    out = benchmark(lambda: sim.simulate_outputs(patterns))
+    assert out.shape == (1024, len(circuit.output_names))

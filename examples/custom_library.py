@@ -1,0 +1,77 @@
+"""Drop in a custom cell characterisation.
+
+The paper's estimators are parameterised entirely by electrical data
+from the target cell library (§1, §3).  This example builds a
+"low-leakage" variant of the generic library (every cell leaks 4x less,
+switches 20% harder), saves and reloads it through the JSON layer, and
+shows the consequences: fewer modules are needed (discriminability
+relaxes) but each sensor grows (more transient current per module).
+
+Run:  python examples/custom_library.py
+"""
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+from repro.config import EvolutionParams, SynthesisConfig
+from repro.flow.synthesis import synthesize_iddq_testable
+from repro.library.default_lib import generic_library
+from repro.library.io import load_library_json, save_library_json
+from repro.library.library import CellLibrary
+from repro.netlist.benchmarks import load_iscas85
+
+
+def low_leakage_variant(base: CellLibrary) -> CellLibrary:
+    cells = [
+        dataclasses.replace(
+            cell,
+            leakage_na_min=cell.leakage_na_min / 4,
+            leakage_na_max=cell.leakage_na_max / 4,
+            peak_current_ma=cell.peak_current_ma * 1.2,
+        )
+        for cell in base
+    ]
+    return CellLibrary("low-leakage-0.7um", cells)
+
+
+def main() -> None:
+    circuit = load_iscas85("c2670")
+    config = SynthesisConfig(
+        evolution=EvolutionParams(
+            mu=4,
+            children_per_parent=3,
+            monte_carlo_per_parent=1,
+            generations=30,
+            convergence_window=20,
+        )
+    )
+
+    custom = low_leakage_variant(generic_library())
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "low_leakage.json"
+        save_library_json(custom, path)
+        reloaded = load_library_json(path)
+        print(f"library round-tripped through {path.name}: {reloaded.name}, "
+              f"{len(reloaded)} cells\n")
+
+    for label, library in (("generic", generic_library()), ("low-leakage", custom)):
+        design = synthesize_iddq_testable(circuit, library=library, config=config, seed=3)
+        evaluation = design.evaluation
+        print(
+            f"{label:<12} modules={evaluation.num_modules:<3} "
+            f"sensor area={evaluation.sensor_area_total:12.4g}  "
+            f"delay overhead={100 * evaluation.delay_overhead:5.2f}%  "
+            f"worst discriminability="
+            f"{min(m.discriminability for m in evaluation.modules):6.1f}"
+        )
+
+    print(
+        "\nlower leakage relaxes the discriminability constraint (fewer, larger"
+        "\nmodules are allowed); the higher peak currents push sensor sizes the"
+        "\nother way - exactly the trade-off the cost function navigates."
+    )
+
+
+if __name__ == "__main__":
+    main()

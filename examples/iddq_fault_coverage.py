@@ -1,0 +1,61 @@
+"""The paper's §1 motivation, measured: IDDQ coverage vs sensor count.
+
+Samples IDDQ-observable defects (bridges, gate-oxide shorts) with small
+defect currents, applies random vectors, and sweeps the number of module
+sensors from 1 (off-chip-style global measurement) upward.  Each
+sensor's decision threshold must clear its module's fault-free leakage
+band by the required discriminability, so a single sensor on a large CUT
+is blunt — partitioning sharpens it.
+
+Run:  python examples/iddq_fault_coverage.py [circuit] [vectors]
+"""
+
+import random
+import sys
+
+from repro.faultsim.coverage import evaluate_coverage
+from repro.faultsim.faults import sample_bridging_faults, sample_gate_oxide_shorts
+from repro.faultsim.patterns import random_patterns
+from repro.netlist.benchmarks import load_iscas85
+from repro.optimize.start import chain_start_partition
+from repro.partition.evaluator import PartitionEvaluator
+from repro.partition.partition import Partition
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "c5315"
+    vectors = int(sys.argv[2]) if len(sys.argv) > 2 else 256
+    circuit = load_iscas85(name)
+    evaluator = PartitionEvaluator(circuit)
+    print(f"{name}: {len(circuit.gate_names)} gates, {vectors} random vectors")
+
+    defects = sample_bridging_faults(
+        circuit, 80, seed=3, current_range_ua=(0.5, 8.0)
+    ) + sample_gate_oxide_shorts(circuit, 40, seed=4, current_range_ua=(0.5, 8.0))
+    patterns = random_patterns(len(circuit.input_names), vectors, seed=5)
+    print(f"{len(defects)} sampled defects with 0.5-8 uA defect currents\n")
+
+    print(f"{'#sensors':>8}  {'worst eff. threshold':>22}  {'coverage':>9}")
+    rng = random.Random(9)
+    for k in (1, 2, 4, 8, 16):
+        if k > len(circuit.gate_names):
+            break
+        if k == 1:
+            partition = Partition.single_module(circuit)
+        else:
+            partition = chain_start_partition(evaluator, k, rng)
+        report = evaluate_coverage(circuit, partition, defects, patterns)
+        print(
+            f"{k:>8}  {report.worst_threshold_ua:>19.2f} uA"
+            f"  {100 * report.coverage:>8.1f}%"
+        )
+
+    print(
+        "\nthe single global sensor must raise its threshold above the whole-chip"
+        "\nleakage band (discriminability d=10), so sub-threshold defects escape;"
+        "\nper-module sensors keep the 1 uA threshold usable (paper §1-§2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Regenerate the paper's Table 1: evolution vs standard partitioning.
+
+For each ISCAS85 circuit (or its documented stand-in, DESIGN.md §5) the
+evolution strategy partitions the CUT; the §5 "standard partitioning"
+baseline then builds a partition with the same module count, and the two
+are compared on BIC sensor area, delay overhead and test time.
+
+Run:  python examples/table1_repro.py [--full] [circuit ...]
+      (default: quick budgets on all six Table 1 circuits; --full uses
+      convergence-oriented budgets and takes several minutes per circuit)
+"""
+
+import argparse
+
+from repro.experiments.table1 import TABLE1_CIRCUITS, run_table1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("circuits", nargs="*", default=list(TABLE1_CIRCUITS))
+    parser.add_argument("--full", action="store_true", help="full evolution budgets")
+    parser.add_argument("--seed", type=int, default=1995)
+    args = parser.parse_args()
+
+    result = run_table1(
+        circuits=tuple(args.circuits), seed=args.seed, quick=not args.full
+    )
+    print(result.render())
+    print()
+    print("comparison against the published Table 1:")
+    print(result.render_vs_paper())
+    print()
+    for row in result.rows:
+        verdict = "OK" if row.area_standard > row.area_evolution else "UNEXPECTED"
+        print(
+            f"{row.circuit}: evolution wins on sensor area by "
+            f"{row.area_overhead_pct:.1f}% [{verdict}] "
+            f"({row.generations} generations, {row.evaluations} evaluations)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — reproduction of Wunderlich et al., "Synthesis of IDDQ-Testable
+Circuits: Integrating Built-In Current Sensors" (ED&TC 1995).
+
+The library partitions a gate-level circuit into modules, sizes one
+built-in current (BIC) sensor per module, and optimises the partition
+with the paper's evolution strategy under discriminability and
+virtual-rail constraints.  See :mod:`repro.flow` for the end-to-end
+entry point and :mod:`repro.experiments` for the paper's evaluation.
+
+Quickstart::
+
+    from repro import synthesize_iddq_testable
+    from repro.netlist import c17
+
+    design = synthesize_iddq_testable(c17(), seed=7)
+    print(design.report())
+"""
+
+from repro.errors import (
+    BenchFormatError,
+    ConstraintError,
+    ExperimentError,
+    FaultSimError,
+    LibraryError,
+    NetlistError,
+    OptimizationError,
+    PartitionError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "NetlistError",
+    "BenchFormatError",
+    "LibraryError",
+    "PartitionError",
+    "ConstraintError",
+    "OptimizationError",
+    "FaultSimError",
+    "ExperimentError",
+    "synthesize_iddq_testable",
+]
+
+
+def __getattr__(name: str):
+    # Lazy import of the heavyweight flow entry point so that importing
+    # repro for netlist-only use stays fast.
+    if name == "synthesize_iddq_testable":
+        from repro.flow.synthesis import synthesize_iddq_testable
+
+        return synthesize_iddq_testable
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,49 @@
+"""Logic-level estimators (paper §3).
+
+Everything the partitioner's cost function and constraints need, computed
+from the gate-level netlist plus cell-library data:
+
+* transition-time sets ``T(g)`` over the unit-delay grid
+  (:mod:`~repro.analysis.transition_times`);
+* worst-case module transient current (:mod:`~repro.analysis.current`)
+  and simultaneous-switching activity (:mod:`~repro.analysis.activity`);
+* critical-path timing with and without sensors
+  (:mod:`~repro.analysis.timing`);
+* capped BFS separation in the undirected circuit graph
+  (:mod:`~repro.analysis.separation`);
+* worst-case quiescent leakage (:mod:`~repro.analysis.leakage`).
+"""
+
+from repro.analysis.levels import gates_by_level, reverse_levels
+from repro.analysis.transition_times import (
+    TransitionTimes,
+    transition_time_masks,
+    times_from_mask,
+)
+from repro.analysis.current import GateElectricals, module_current_profile, module_max_current
+from repro.analysis.activity import module_activity_profile
+from repro.analysis.timing import LevelizedTiming, critical_path_delay, nominal_gate_delays
+from repro.analysis.paths import CriticalPath, extract_critical_path
+from repro.analysis.separation import SeparationMatrix, module_separation
+from repro.analysis.leakage import gate_leakages, module_leakage
+
+__all__ = [
+    "gates_by_level",
+    "reverse_levels",
+    "TransitionTimes",
+    "transition_time_masks",
+    "times_from_mask",
+    "GateElectricals",
+    "module_current_profile",
+    "module_max_current",
+    "module_activity_profile",
+    "LevelizedTiming",
+    "CriticalPath",
+    "extract_critical_path",
+    "critical_path_delay",
+    "nominal_gate_delays",
+    "SeparationMatrix",
+    "module_separation",
+    "gate_leakages",
+    "module_leakage",
+]

@@ -1,0 +1,30 @@
+"""Simultaneous-switching activity ``n(t)`` (paper §3.2).
+
+The delay-degradation model needs, per module and time-grid slot, the
+number of gates that may switch simultaneously — the ``n(t)`` parameter
+of the second-order electrical network.  Same pessimistic overlap
+assumption as the current estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.transition_times import TransitionTimes
+
+__all__ = ["module_activity_profile", "module_max_activity"]
+
+
+def module_activity_profile(times: TransitionTimes, gate_indices) -> np.ndarray:
+    """Count of potentially simultaneously switching gates per time slot."""
+    ones = np.ones(1, dtype=np.float64)
+    out = np.zeros(times.depth + 1, dtype=np.float64)
+    for g in gate_indices:
+        out[times.times[g]] += ones[0]
+    return out
+
+
+def module_max_activity(times: TransitionTimes, gate_indices) -> float:
+    """Worst simultaneous-switching count of the group."""
+    profile = module_activity_profile(times, gate_indices)
+    return float(profile.max()) if profile.size else 0.0

@@ -1,0 +1,33 @@
+"""Worst-case quiescent current of gate groups (paper §2).
+
+The discriminability constraint compares the detection threshold
+``IDDQ,th`` against ``IDDQ,nd,i`` — the *maximum non-defective* current
+of module ``Mi``.  At the logic level we bound it by the sum of each
+cell's worst-state leakage, which is exact for defect-free CMOS (leakage
+paths are independent) and cheap to maintain incrementally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.library.library import CellLibrary
+from repro.netlist.circuit import Circuit
+
+__all__ = ["gate_leakages", "module_leakage"]
+
+
+def gate_leakages(circuit: Circuit, library: CellLibrary) -> np.ndarray:
+    """Worst-case leakage (nA) per logic gate, by dense gate index."""
+    out = np.empty(len(circuit.gate_names))
+    for i, name in enumerate(circuit.gate_names):
+        out[i] = library.for_gate(circuit.gate(name)).leakage_na_worst
+    return out
+
+
+def module_leakage(leakages: np.ndarray, gate_indices) -> float:
+    """``IDDQ,nd`` bound of a gate group in nA."""
+    idx = np.asarray(gate_indices, dtype=np.int64)
+    if idx.size == 0:
+        return 0.0
+    return float(leakages[idx].sum())

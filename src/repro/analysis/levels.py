@@ -1,0 +1,36 @@
+"""Levelisation helpers on top of :attr:`Circuit.levels`."""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+
+__all__ = ["gates_by_level", "reverse_levels"]
+
+
+def gates_by_level(circuit: Circuit) -> list[list[str]]:
+    """Logic gates grouped by unit-delay level, levels ascending.
+
+    Index 0 corresponds to level 1 (the first logic level); primary
+    inputs (level 0) are not included.
+    """
+    buckets: list[list[str]] = [[] for _ in range(circuit.depth)]
+    for name in circuit.gate_names:
+        buckets[circuit.levels[name] - 1].append(name)
+    return buckets
+
+
+def reverse_levels(circuit: Circuit) -> dict[str, int]:
+    """Longest distance (in gates) from each gate to any primary output
+    sink it can reach; output gates themselves are 0.
+
+    Used by clustering heuristics that grow chains "towards a primary
+    output" (paper §4.2).
+    """
+    depth_to_sink: dict[str, int] = {}
+    for name in reversed(circuit.topological_order):
+        fanouts = circuit.fanouts[name]
+        if not fanouts:
+            depth_to_sink[name] = 0
+        else:
+            depth_to_sink[name] = 1 + max(depth_to_sink[s] for s in fanouts)
+    return depth_to_sink

@@ -1,0 +1,74 @@
+"""Critical-path extraction.
+
+The overhead numbers of §3.2 are ratios of longest-path delays; for
+reports and debugging it is often necessary to see *which* path is
+critical and how the sensor degradation reshapes it (the degraded
+critical path need not be the nominal one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+
+__all__ = ["CriticalPath", "extract_critical_path"]
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """One maximal-delay input-to-output path."""
+
+    gates: tuple[str, ...]
+    delay: float
+    start_input: str
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def render(self) -> str:
+        return f"{self.start_input} -> " + " -> ".join(self.gates) + f"  [{self.delay:.3f}]"
+
+
+def extract_critical_path(circuit: Circuit, delays: np.ndarray) -> CriticalPath:
+    """Trace the longest path under per-gate ``delays``.
+
+    Ties break toward the lexicographically first fanin, making the
+    extraction deterministic.
+    """
+    index = circuit.gate_index
+    if delays.shape != (len(index),):
+        raise ValueError(f"delays must have shape ({len(index)},), got {delays.shape}")
+    arrival: dict[str, float] = {}
+    predecessor: dict[str, str | None] = {}
+    for name in circuit.topological_order:
+        gate = circuit.gate(name)
+        if gate.gate_type.is_input:
+            arrival[name] = 0.0
+            predecessor[name] = None
+            continue
+        best_fanin = None
+        best_arrival = -1.0
+        for fanin in gate.fanins:
+            if arrival[fanin] > best_arrival:
+                best_arrival = arrival[fanin]
+                best_fanin = fanin
+        arrival[name] = best_arrival + float(delays[index[name]])
+        predecessor[name] = best_fanin
+
+    end = max(
+        (name for name in circuit.gate_names),
+        key=lambda name: (arrival[name], name),
+    )
+    path: list[str] = []
+    cursor: str | None = end
+    while cursor is not None and not circuit.gate(cursor).gate_type.is_input:
+        path.append(cursor)
+        cursor = predecessor[cursor]
+    start_input = cursor if cursor is not None else path[-1]
+    path.reverse()
+    return CriticalPath(
+        gates=tuple(path), delay=arrival[end], start_input=start_input
+    )

@@ -1,0 +1,99 @@
+"""Interconnect separation metric (paper §3.3).
+
+``S(gi, gj)`` is the minimum number of graph steps between two gates in
+the *undirected* circuit graph, forced to the cap ``ρ`` when the true
+distance reaches ``ρ`` or no path exists.  A module's separation
+``S(M)`` is the sum over all unordered gate pairs, and
+``S(Π) = Σ S(Mk)``; the cost term is ``c3 = log(S(Π))``.
+
+The metric rewards modules whose gates are tightly connected — "the
+parameter decreases if many nodes ... are connected, and it is minimum
+if M is a clique of the undirected circuit graph".
+
+Implementation: one capped breadth-first search per logic gate fills a
+dense ``uint8`` matrix (defaulted to ``ρ``).  BFS traverses *all* nodes
+(two gates may be close through a shared primary input) but distances
+are recorded for logic gates only.  For the largest Table 1 circuit
+(3512 gates) the matrix is ~12 MB and builds in a few seconds, after
+which every module evaluation and every incremental move delta is pure
+numpy indexing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+
+__all__ = ["SeparationMatrix", "module_separation"]
+
+
+class SeparationMatrix:
+    """Capped all-pairs gate distances for one circuit."""
+
+    def __init__(self, circuit: Circuit, cap: int):
+        if cap < 1:
+            raise ValueError(f"separation cap must be >= 1, got {cap}")
+        if cap > 255:
+            raise ValueError("separation cap above 255 not supported (uint8 storage)")
+        self.cap = cap
+        names = circuit.all_names
+        node_index = {name: i for i, name in enumerate(names)}
+        adjacency: list[list[int]] = [[] for _ in names]
+        for name, neighbours in circuit.undirected_adjacency.items():
+            adjacency[node_index[name]] = [node_index[n] for n in neighbours]
+        gate_index = circuit.gate_index
+        # node id -> dense gate id (or -1 for primary inputs)
+        node_to_gate = np.full(len(names), -1, dtype=np.int64)
+        for name, g in gate_index.items():
+            node_to_gate[node_index[name]] = g
+        n = len(gate_index)
+        matrix = np.full((n, n), cap, dtype=np.uint8)
+        visited = np.full(len(names), -1, dtype=np.int64)
+        for name, g in gate_index.items():
+            start = node_index[name]
+            visited[start] = g
+            frontier = [start]
+            row = matrix[g]
+            row[g] = 0
+            for dist in range(1, cap):
+                nxt: list[int] = []
+                for node in frontier:
+                    for nbr in adjacency[node]:
+                        if visited[nbr] != g:
+                            visited[nbr] = g
+                            gate_id = node_to_gate[nbr]
+                            if gate_id >= 0:
+                                row[gate_id] = dist
+                            nxt.append(nbr)
+                if not nxt:
+                    break
+                frontier = nxt
+            visited[start] = g  # keep marker consistent (already set)
+        self.matrix = matrix
+
+    def distance(self, g1: int, g2: int) -> int:
+        """Capped distance between two dense gate indices."""
+        return int(self.matrix[g1, g2])
+
+    def sum_to_group(self, gate: int, group: np.ndarray) -> float:
+        """Σ distance(gate, h) for h in ``group`` (gate itself excluded if
+        present — its self-distance is 0 so exclusion is automatic)."""
+        if group.size == 0:
+            return 0.0
+        return float(self.matrix[gate, group].astype(np.int64).sum())
+
+    def module_sum(self, group: np.ndarray) -> float:
+        """``S(M)``: sum of capped distances over unordered pairs."""
+        if group.size < 2:
+            return 0.0
+        sub = self.matrix[np.ix_(group, group)].astype(np.int64)
+        return float(sub.sum() / 2)
+
+
+def module_separation(circuit: Circuit, gates, cap: int) -> float:
+    """One-shot ``S(M)`` by name (builds the matrix; prefer caching
+    :class:`SeparationMatrix` when evaluating many modules)."""
+    matrix = SeparationMatrix(circuit, cap)
+    idx = np.asarray([circuit.gate_index[g] for g in gates], dtype=np.int64)
+    return matrix.module_sum(idx)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises a subclass of :class:`ReproError`, so applications
+can catch library failures without masking genuine Python bugs.
+"""
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "BenchFormatError",
+    "LibraryError",
+    "PartitionError",
+    "ConstraintError",
+    "OptimizationError",
+    "FaultSimError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a circuit (undefined nets, cycles, ...)."""
+
+
+class BenchFormatError(NetlistError):
+    """Malformed ISCAS ``.bench`` text."""
+
+
+class LibraryError(ReproError):
+    """Missing or inconsistent cell-library data."""
+
+
+class PartitionError(ReproError):
+    """Invalid partition manipulation (unknown gate, empty module, ...)."""
+
+
+class ConstraintError(ReproError):
+    """A required constraint cannot be satisfied at all (e.g. a single
+    gate already violates discriminability)."""
+
+
+class OptimizationError(ReproError):
+    """Optimiser misconfiguration or failure to produce any feasible result."""
+
+
+class FaultSimError(ReproError):
+    """Fault model / simulation inconsistency."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness failure (unknown experiment id, bad config)."""

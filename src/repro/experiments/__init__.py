@@ -1,0 +1,52 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+Every table and figure in the paper maps to one module here (see
+DESIGN.md §4 for the index):
+
+* :mod:`~repro.experiments.table1` — Table 1, evolution vs standard
+  partitioning on the six ISCAS85 circuits;
+* :mod:`~repro.experiments.figure1` — BIC sensor PASS/FAIL behaviour;
+* :mod:`~repro.experiments.figure2` — partition *shape* vs sensor size
+  on a 2-D array CUT;
+* :mod:`~repro.experiments.figure45` — the C17 evolution walk-through,
+  checked against the paper's optimum by exhaustive enumeration;
+* :mod:`~repro.experiments.ablations` — design-choice ablations;
+* :mod:`~repro.experiments.catalog` — registry + CLI
+  (``python -m repro.experiments``).
+"""
+
+from repro.experiments.catalog import EXPERIMENTS, ExperimentResult, run_experiment
+from repro.experiments.table1 import PAPER_TABLE1, Table1Row, run_table1
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure45 import run_figure45, c17_demo_technology
+from repro.experiments.ablations import (
+    run_degradation_ablation,
+    run_incremental_speedup,
+    run_monte_carlo_ablation,
+    run_optimizer_comparison,
+    run_weight_sensitivity,
+)
+from repro.experiments.motivation import run_motivation_coverage
+from repro.experiments.sweeps import run_convergence_curve, run_rail_limit_sweep
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "PAPER_TABLE1",
+    "Table1Row",
+    "run_table1",
+    "run_figure1",
+    "run_figure2",
+    "run_figure45",
+    "c17_demo_technology",
+    "run_monte_carlo_ablation",
+    "run_incremental_speedup",
+    "run_degradation_ablation",
+    "run_weight_sensitivity",
+    "run_optimizer_comparison",
+    "run_motivation_coverage",
+    "run_rail_limit_sweep",
+    "run_convergence_curve",
+]

@@ -1,0 +1,48 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run table1 [--full]
+    python -m repro.experiments all [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.catalog import experiment_names, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("name", help="experiment id (see 'list')")
+    run.add_argument("--full", action="store_true", help="full (slow) budgets")
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--full", action="store_true", help="full (slow) budgets")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in experiment_names():
+            print(name)
+        return 0
+    if args.command == "run":
+        result = run_experiment(args.name, quick=not args.full)
+        print(result.render())
+        return 0
+    for name in experiment_names():
+        result = run_experiment(name, quick=not args.full)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

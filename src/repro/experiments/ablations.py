@@ -1,0 +1,291 @@
+"""Ablations of the paper's design choices.
+
+* Monte-Carlo children (χ > 0) vs mutation-only (χ = 0) — §4's claim
+  that the high-variance descendants "reduce the probability of being
+  caught in a local minimum";
+* incremental vs from-scratch cost evaluation — §4.2's claim that
+  partitions "can be evaluated very efficiently";
+* first- vs second-order delay degradation model — DESIGN.md §5.4's
+  claim that the cost *ordering* is insensitive to the model order;
+* cost-weight sensitivity — §5's weighting of the design space
+  Speed-Area-Testability;
+* optimiser comparison — §4's list of alternative heuristic families.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from dataclasses import replace
+
+from repro.config import CostWeights, EvolutionParams
+from repro.experiments.catalog import ExperimentResult
+from repro.netlist.benchmarks import load_iscas85
+from repro.optimize.annealing import AnnealingParams, anneal_partition
+from repro.optimize.evolution import evolve_partition
+from repro.optimize.force_directed import force_directed_partition
+from repro.optimize.greedy import greedy_refine
+from repro.optimize.random_search import random_search_partition
+from repro.optimize.start import chain_start_partition, estimate_module_count, start_population
+from repro.partition.evaluator import PartitionEvaluator
+from repro.sensors.degradation import FirstOrderDegradation, SecondOrderDegradation
+
+__all__ = [
+    "run_monte_carlo_ablation",
+    "run_incremental_speedup",
+    "run_degradation_ablation",
+    "run_weight_sensitivity",
+    "run_optimizer_comparison",
+]
+
+_QUICK_PARAMS = EvolutionParams(
+    mu=4,
+    children_per_parent=3,
+    monte_carlo_per_parent=2,
+    generations=30,
+    convergence_window=15,
+)
+_FULL_PARAMS = EvolutionParams(
+    mu=6,
+    children_per_parent=4,
+    monte_carlo_per_parent=2,
+    generations=120,
+    convergence_window=40,
+)
+
+
+def run_monte_carlo_ablation(
+    circuit_name: str = "c1908", quick: bool = True, seeds: tuple[int, ...] = (1, 2, 3)
+) -> ExperimentResult:
+    """Final cost with and without Monte-Carlo children, across seeds."""
+    circuit = load_iscas85(circuit_name)
+    evaluator = PartitionEvaluator(circuit)
+    base = _QUICK_PARAMS if quick else _FULL_PARAMS
+    if not quick:
+        seeds = tuple(range(1, 6))
+    results: dict[str, list[float]] = {"chi=0": [], f"chi={base.monte_carlo_per_parent}": []}
+    for seed in seeds:
+        for label, chi in (("chi=0", 0), (f"chi={base.monte_carlo_per_parent}", base.monte_carlo_per_parent)):
+            params = replace(base, monte_carlo_per_parent=chi)
+            run = evolve_partition(evaluator, params, seed=seed)
+            results[label].append(run.best.cost)
+    rows = []
+    for label, costs in results.items():
+        rows.append(
+            [
+                label,
+                f"{min(costs):.2f}",
+                f"{statistics.mean(costs):.2f}",
+                f"{max(costs):.2f}",
+            ]
+        )
+    gain = statistics.mean(results["chi=0"]) - statistics.mean(
+        results[f"chi={base.monte_carlo_per_parent}"]
+    )
+    notes = [
+        f"{circuit_name}, {len(seeds)} seeds, {base.generations} generations",
+        f"mean cost improvement from Monte-Carlo children: {gain:.2f}",
+        "paper §4: MC descendants reduce the probability of local-minimum capture"
+        " (they are also the only operator that can merge modules away)",
+    ]
+    return ExperimentResult(
+        "Ablation: Monte-Carlo children",
+        ["variant", "best cost", "mean cost", "worst cost"],
+        rows,
+        notes,
+    )
+
+
+def run_incremental_speedup(
+    circuit_name: str = "c3540", quick: bool = True, moves: int = 60
+) -> ExperimentResult:
+    """Time per candidate: incremental state update vs full re-evaluation."""
+    circuit = load_iscas85(circuit_name)
+    evaluator = PartitionEvaluator(circuit)
+    rng = random.Random(0)
+    k = estimate_module_count(evaluator)
+    partition = chain_start_partition(evaluator, k, rng)
+    if quick:
+        moves = min(moves, 30)
+
+    state = evaluator.new_state(partition)
+    n = len(circuit.gate_names)
+    plan = []
+    probe = state.copy()
+    for _ in range(moves):
+        gate = rng.randrange(n)
+        targets = [m for m in probe.partition.module_ids if m != probe.partition.module_of(gate)]
+        target = rng.choice(targets)
+        plan.append((gate, target))
+        probe.move_gate(gate, target)
+
+    t0 = time.perf_counter()
+    for gate, target in plan:
+        state.move_gate(gate, target)
+        state.penalized_cost(1e4)
+    incremental = (time.perf_counter() - t0) / moves
+
+    t0 = time.perf_counter()
+    replay = evaluator.new_state(partition)
+    for gate, target in plan:
+        replay.partition.move_gate(gate, target)
+        fresh = evaluator.new_state(replay.partition)
+        fresh.penalized_cost(1e4)
+    full = (time.perf_counter() - t0) / moves
+
+    rows = [
+        ["incremental (paper §4.2)", f"{incremental * 1e3:.3f} ms"],
+        ["from scratch", f"{full * 1e3:.3f} ms"],
+        ["speedup", f"{full / incremental:.1f}x"],
+    ]
+    notes = [
+        f"{circuit_name}: {n} gates, {k} modules, {moves} random moves",
+        "the evolution strategy evaluates thousands of children; the paper keeps "
+        "this tractable by recomputing costs only for the modified modules",
+    ]
+    return ExperimentResult(
+        "Ablation: incremental evaluation",
+        ["evaluation mode", "time per candidate"],
+        rows,
+        notes,
+    )
+
+
+def run_degradation_ablation(
+    circuit_name: str = "c1908", quick: bool = True, seed: int = 5
+) -> ExperimentResult:
+    """Does the degradation-model order change the chosen partition?"""
+    circuit = load_iscas85(circuit_name)
+    params = _QUICK_PARAMS if quick else _FULL_PARAMS
+    rows = []
+    areas = {}
+    for label, model in (
+        ("first-order", FirstOrderDegradation()),
+        ("second-order", SecondOrderDegradation()),
+    ):
+        evaluator = PartitionEvaluator(circuit, degradation=model)
+        rng = random.Random(seed)
+        k = estimate_module_count(evaluator)
+        starts = start_population(evaluator, k, params.mu, rng)
+        run = evolve_partition(evaluator, params, seed=seed, starts=starts)
+        areas[label] = run.best.sensor_area_total
+        rows.append(
+            [
+                label,
+                run.best.num_modules,
+                run.best.sensor_area_total,
+                f"{100 * run.best.delay_overhead:.2f}%",
+                f"{run.best.cost:.2f}",
+            ]
+        )
+    ratio = areas["first-order"] / areas["second-order"]
+    notes = [
+        f"{circuit_name}, same seeds and budgets, only the delta(g,t) model differs",
+        f"sensor-area ratio first/second order: {ratio:.3f} — the partition choice "
+        "is driven by the current estimator, not the degradation model's order",
+        "the first-order model reports larger delay overheads (no Cs damping)",
+    ]
+    return ExperimentResult(
+        "Ablation: delay degradation model",
+        ["model", "#modules", "sensor area", "delay ovh", "cost"],
+        rows,
+        notes,
+    )
+
+
+def run_weight_sensitivity(
+    circuit_name: str = "c1908", quick: bool = True, seed: int = 9
+) -> ExperimentResult:
+    """Scale the area weight around the paper's choice."""
+    circuit = load_iscas85(circuit_name)
+    params = _QUICK_PARAMS if quick else _FULL_PARAMS
+    rows = []
+    for factor in (0.1, 1.0, 10.0):
+        weights = CostWeights(area=9.0 * factor)
+        evaluator = PartitionEvaluator(circuit, weights=weights)
+        run = evolve_partition(evaluator, params, seed=seed)
+        rows.append(
+            [
+                f"{factor}x",
+                f"{weights.area:.1f}",
+                run.best.num_modules,
+                run.best.sensor_area_total,
+                f"{100 * run.best.delay_overhead:.2f}%",
+            ]
+        )
+    notes = [
+        f"{circuit_name}; the paper's §5 weights are (9, 1e5, 1, 1, 10)",
+        "the weight vector expresses 'different priorities' in the "
+        "Speed-Area-Testability design space (paper §2)",
+    ]
+    return ExperimentResult(
+        "Ablation: area-weight sensitivity",
+        ["area weight scale", "alpha1", "#modules", "sensor area", "delay ovh"],
+        rows,
+        notes,
+    )
+
+
+def run_optimizer_comparison(
+    circuit_name: str = "c1908", quick: bool = True, seed: int = 4
+) -> ExperimentResult:
+    """Evolution strategy vs annealing vs random search vs greedy."""
+    circuit = load_iscas85(circuit_name)
+    evaluator = PartitionEvaluator(circuit)
+    params = _QUICK_PARAMS if quick else _FULL_PARAMS
+    rng = random.Random(seed)
+    k = estimate_module_count(evaluator)
+    start = chain_start_partition(evaluator, k, rng)
+
+    runs = []
+    t0 = time.perf_counter()
+    es = evolve_partition(evaluator, params, seed=seed)
+    runs.append(("evolution (paper)", es, time.perf_counter() - t0))
+
+    t0 = time.perf_counter()
+    sa_params = AnnealingParams(
+        steps_per_temperature=20 if quick else 60,
+        cooling=0.90 if quick else 0.95,
+    )
+    sa = anneal_partition(evaluator, sa_params, seed=seed, start=start)
+    runs.append(("simulated annealing", sa, time.perf_counter() - t0))
+
+    t0 = time.perf_counter()
+    rs = random_search_partition(
+        evaluator, samples=60 if quick else 300, num_modules=k, seed=seed
+    )
+    runs.append(("random search", rs, time.perf_counter() - t0))
+
+    t0 = time.perf_counter()
+    greedy = greedy_refine(evaluator, start, max_passes=8 if quick else 30)
+    runs.append(("greedy refinement", greedy, time.perf_counter() - t0))
+
+    t0 = time.perf_counter()
+    force = force_directed_partition(
+        evaluator, seed=seed, start=start, max_sweeps=6 if quick else 20
+    )
+    runs.append(("force-directed", force, time.perf_counter() - t0))
+
+    rows = [
+        [
+            label,
+            f"{run.best.cost:.2f}",
+            run.best.num_modules,
+            run.best.sensor_area_total,
+            run.evaluations,
+            f"{seconds:.2f} s",
+        ]
+        for label, run, seconds in runs
+    ]
+    notes = [
+        f"{circuit_name}, shared start partition where applicable, seed {seed}",
+        "paper §4 names simulated annealing / Monte Carlo / genetic approaches as "
+        "the alternative families for this NP-hard problem",
+    ]
+    return ExperimentResult(
+        "Ablation: optimiser comparison",
+        ["optimizer", "cost", "#modules", "sensor area", "evaluations", "time"],
+        rows,
+        notes,
+    )

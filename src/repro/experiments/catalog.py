@@ -1,0 +1,87 @@
+"""Experiment registry and shared result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ExperimentError
+from repro.flow.report import format_table
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result: a named table plus free-form notes."""
+
+    name: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.name} ==", format_table(self.headers, self.rows)]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+def _registry() -> dict[str, Callable[[bool], ExperimentResult]]:
+    # Imported lazily so the catalog module stays import-cheap.
+    from repro.experiments.ablations import (
+        run_degradation_ablation,
+        run_incremental_speedup,
+        run_monte_carlo_ablation,
+        run_optimizer_comparison,
+        run_weight_sensitivity,
+    )
+    from repro.experiments.figure1 import run_figure1
+    from repro.experiments.figure2 import run_figure2
+    from repro.experiments.figure45 import run_figure45
+    from repro.experiments.complement import run_complement
+    from repro.experiments.corners import run_corner_sweep
+    from repro.experiments.motivation import run_motivation_coverage
+    from repro.experiments.sweeps import run_convergence_curve, run_rail_limit_sweep
+    from repro.experiments.table1 import run_table1
+
+    return {
+        "complement": lambda quick: run_complement(quick=quick),
+        "sweep-corners": lambda quick: run_corner_sweep(quick=quick),
+        "sweep-rail-limit": lambda quick: run_rail_limit_sweep(quick=quick),
+        "sweep-convergence": lambda quick: run_convergence_curve(quick=quick),
+        "table1": lambda quick: run_table1(quick=quick).as_experiment_result(),
+        "figure1": lambda quick: run_figure1(quick=quick),
+        "figure2": lambda quick: run_figure2(quick=quick),
+        "figure45": lambda quick: run_figure45(quick=quick),
+        "motivation": lambda quick: run_motivation_coverage(quick=quick),
+        "ablation-monte-carlo": lambda quick: run_monte_carlo_ablation(quick=quick),
+        "ablation-incremental": lambda quick: run_incremental_speedup(quick=quick),
+        "ablation-degradation": lambda quick: run_degradation_ablation(quick=quick),
+        "ablation-weights": lambda quick: run_weight_sensitivity(quick=quick),
+        "ablation-optimizers": lambda quick: run_optimizer_comparison(quick=quick),
+    }
+
+
+#: Experiment name -> runner(quick) mapping.
+EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {}
+
+
+def run_experiment(name: str, quick: bool = True) -> ExperimentResult:
+    """Run one registered experiment by name."""
+    if not EXPERIMENTS:
+        EXPERIMENTS.update(_registry())
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        if not EXPERIMENTS:
+            EXPERIMENTS.update(_registry())
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(f"unknown experiment {name!r}; known: {known}")
+    return runner(quick)
+
+
+def experiment_names() -> tuple[str, ...]:
+    if not EXPERIMENTS:
+        EXPERIMENTS.update(_registry())
+    return tuple(sorted(EXPERIMENTS))

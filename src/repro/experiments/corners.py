@@ -1,0 +1,72 @@
+"""Process-corner robustness of a chosen partition.
+
+A production version of the paper's flow must budget discriminability at
+the worst-case leakage corner: leakage moves by ~an order of magnitude
+between slow/cold and fast/hot silicon while the detection threshold
+stays put.  This experiment takes the partition the evolution strategy
+chose at the nominal corner and re-checks constraints and costs at every
+corner — showing when nominal-corner optimisation is (not) enough.
+"""
+
+from __future__ import annotations
+
+from repro.config import EvolutionParams
+from repro.experiments.catalog import ExperimentResult
+from repro.library.default_lib import generic_library
+from repro.library.scaling import CORNERS
+from repro.netlist.benchmarks import load_iscas85
+from repro.optimize.evolution import evolve_partition
+from repro.partition.evaluator import PartitionEvaluator
+
+__all__ = ["run_corner_sweep"]
+
+
+def run_corner_sweep(circuit_name: str = "c1908", quick: bool = True, seed: int = 6) -> ExperimentResult:
+    """Re-evaluate the nominal-corner partition at every corner."""
+    circuit = load_iscas85(circuit_name)
+    base_library = generic_library()
+    nominal = PartitionEvaluator(circuit, library=base_library)
+    params = EvolutionParams(
+        mu=4,
+        children_per_parent=3,
+        monte_carlo_per_parent=1,
+        generations=30 if quick else 150,
+        convergence_window=20 if quick else 50,
+    )
+    partition = evolve_partition(nominal, params, seed=seed).best.partition
+
+    rows = []
+    feasibility = {}
+    for corner_name, make_corner in CORNERS.items():
+        evaluator = PartitionEvaluator(circuit, library=make_corner(base_library))
+        evaluation = evaluator.evaluate(partition)
+        feasibility[corner_name] = evaluation.feasible
+        worst_d = min(m.discriminability for m in evaluation.modules)
+        rows.append(
+            [
+                corner_name,
+                "yes" if evaluation.feasible else "NO",
+                f"{worst_d:.1f}",
+                evaluation.sensor_area_total,
+                f"{100 * evaluation.delay_overhead:.2f}%",
+            ]
+        )
+    notes = [
+        f"{circuit_name}: partition optimised at the nominal corner, "
+        f"{partition.num_modules} modules",
+        "fast-hot silicon leaks ~5x more: a partition sized exactly to the "
+        "nominal budget loses discriminability there — the flow must budget "
+        "the worst corner (or re-run with the ff-hot library)",
+    ]
+    if not feasibility["ff-hot"]:
+        notes.append(
+            "as expected, the nominal partition is INFEASIBLE at ff-hot; "
+            "re-optimising with the ff-hot library restores feasibility at "
+            "the cost of more modules"
+        )
+    return ExperimentResult(
+        "Sweep: process corners",
+        ["corner", "feasible", "worst discr.", "sensor area", "delay ovh"],
+        rows,
+        notes,
+    )

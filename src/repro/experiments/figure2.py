@@ -1,0 +1,154 @@
+"""Figure 2: the *shape* of the groups drives the BIC sensor size.
+
+The paper's illustration: a CUT with a two-dimensional array structure
+(three cell types C1, C2, C3) is partitioned two ways.  Partition 1
+groups cells that do *not* switch in parallel, so the per-group maximum
+transient current stays low; partition 2 groups cells that switch
+simultaneously, "thus ... the switching devices have to be greater to
+guarantee the same limits of the virtual rail perturbation, and
+partition 1 should be preferred".
+
+Two workloads reproduce the argument:
+
+* the :mod:`~repro.netlist.arrays` wave array — the figure's schematic
+  made concrete (three cell types, column cells switching in lockstep,
+  row cells strictly staggered); here the effect is maximal;
+* the generated array multiplier (the C6288 structure) — a real array
+  datapath, where reconvergence widens the transition-time sets and the
+  effect shrinks but keeps its sign.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.catalog import ExperimentResult
+from repro.netlist.arrays import WaveArray, wave_array
+from repro.netlist.circuit import Circuit
+from repro.netlist.multiplier import ArrayMultiplier, array_multiplier
+from repro.partition.evaluator import PartitionEvaluation, PartitionEvaluator
+from repro.partition.partition import Partition
+
+__all__ = [
+    "row_partition",
+    "column_partition",
+    "level_band_partition",
+    "run_figure2",
+]
+
+
+def _complete_assignment(
+    circuit: Circuit, seed_assignment: dict[str, int], num_modules: int
+) -> Partition:
+    """Extend a partial name->module map to cover every logic gate.
+
+    Unassigned gates (e.g. the multiplier's output buffers) join the
+    module of their first assigned fanin, walking in topological order so
+    drivers resolve first.
+    """
+    index = circuit.gate_index
+    assignment: dict[int, int] = {}
+    for name, module in seed_assignment.items():
+        assignment[index[name]] = module
+    for name in circuit.topological_order:
+        gate_idx = index.get(name)
+        if gate_idx is None or gate_idx in assignment:
+            continue
+        gate = circuit.gate(name)
+        module = None
+        for fanin in gate.fanins:
+            fanin_idx = index.get(fanin)
+            if fanin_idx is not None and fanin_idx in assignment:
+                module = assignment[fanin_idx]
+                break
+        assignment[gate_idx] = module if module is not None else num_modules - 1
+    return Partition(circuit, assignment)
+
+
+def row_partition(array: WaveArray | ArrayMultiplier) -> Partition:
+    """Partition 1 analogue: one module per array row (cells of mixed
+    types and staggered switching times)."""
+    rows = array.rows
+    seed: dict[str, int] = {}
+    for row in range(rows):
+        for name in array.row_gates(row):
+            seed[name] = row
+    return _complete_assignment(array.circuit, seed, rows)
+
+
+def column_partition(array: WaveArray) -> Partition:
+    """Partition 2 analogue: one module per array column (same-type
+    cells, all switching in the same time slots)."""
+    cols = array.cols
+    seed: dict[str, int] = {}
+    for col in range(cols):
+        for name in array.column_gates(col):
+            seed[name] = col
+    return _complete_assignment(array.circuit, seed, cols)
+
+
+def level_band_partition(mult: ArrayMultiplier, num_modules: int) -> Partition:
+    """Parallel-switching grouping for the multiplier: contiguous level
+    bands of equal population (the closest analogue of 'cells that switch
+    together' when transition sets are wide)."""
+    circuit = mult.circuit
+    names = sorted(circuit.gate_names, key=lambda n: (circuit.levels[n], n))
+    per_module = (len(names) + num_modules - 1) // num_modules
+    seed = {
+        name: min(position // per_module, num_modules - 1)
+        for position, name in enumerate(names)
+    }
+    return _complete_assignment(circuit, seed, num_modules)
+
+
+def _describe(label: str, evaluation: PartitionEvaluation) -> list[object]:
+    worst = max(m.max_current_ma for m in evaluation.modules)
+    return [
+        label,
+        evaluation.num_modules,
+        worst,
+        evaluation.sensor_area_total,
+        f"{100 * evaluation.delay_overhead:.2f}%",
+    ]
+
+
+def run_figure2(size: int = 8, quick: bool = True) -> ExperimentResult:
+    """Compare partition shapes on the wave array and the multiplier."""
+    if quick:
+        size = min(size, 8)
+
+    wave = wave_array(size, size)
+    wave_eval = PartitionEvaluator(wave.circuit)
+    wave_rows = wave_eval.evaluate(row_partition(wave))
+    wave_cols = wave_eval.evaluate(column_partition(wave))
+
+    mult = array_multiplier(size)
+    mult_eval = PartitionEvaluator(mult.circuit)
+    mult_rows = mult_eval.evaluate(row_partition(mult))
+    mult_bands = mult_eval.evaluate(level_band_partition(mult, mult.rows))
+
+    rows = [
+        _describe("wave array / by row (partition 1)", wave_rows),
+        _describe("wave array / by column (partition 2)", wave_cols),
+        _describe("multiplier / by row (partition 1)", mult_rows),
+        _describe("multiplier / by level band (partition 2)", mult_bands),
+    ]
+
+    wave_current_ratio = max(m.max_current_ma for m in wave_cols.modules) / max(
+        m.max_current_ma for m in wave_rows.modules
+    )
+    wave_area_ratio = wave_cols.sensor_area_total / wave_rows.sensor_area_total
+    mult_area_ratio = mult_bands.sensor_area_total / mult_rows.sensor_area_total
+    notes = [
+        f"wave array {size}x{size} ({len(wave.circuit.gate_names)} gates): "
+        f"parallel-switching groups draw {wave_current_ratio:.1f}x the worst-case "
+        f"current and need {wave_area_ratio:.2f}x the sensor area",
+        f"multiplier {size}x{size} ({len(mult.circuit.gate_names)} gates): "
+        f"area ratio {mult_area_ratio:.2f}x — reconvergence widens transition-time "
+        "sets, shrinking but not reversing the effect",
+        "matches Fig. 2: group shape, not just size, sets the BIC sensor cost",
+    ]
+    return ExperimentResult(
+        "Figure 2 (partition shape vs sensor size)",
+        ["partition", "#modules", "worst i_max [mA]", "sensor area", "delay ovh"],
+        rows,
+        notes,
+    )

@@ -1,0 +1,77 @@
+"""The §1 motivation, demonstrated: partitioning restores IDDQ coverage.
+
+"IDDQ-test of large CUTs cannot be done effectively using a single BIC
+sensor.  One obvious reason is the need for an appropriate
+discriminability" — a single sensor's decision threshold must clear the
+whole chip's fault-free leakage band, so small defect currents escape.
+Per-module sensors keep the background per sensor small and the nominal
+threshold usable.
+
+This experiment runs the IDDQ fault simulator over sampled defects with
+small currents and compares coverage under 1 sensor vs the partitioned
+design.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.catalog import ExperimentResult
+from repro.faultsim.coverage import evaluate_coverage
+from repro.faultsim.faults import sample_bridging_faults, sample_gate_oxide_shorts
+from repro.faultsim.patterns import random_patterns
+from repro.netlist.benchmarks import load_iscas85
+from repro.optimize.start import chain_start_partition, estimate_module_count
+from repro.partition.evaluator import PartitionEvaluator
+from repro.partition.partition import Partition
+
+__all__ = ["run_motivation_coverage"]
+
+
+def run_motivation_coverage(quick: bool = True, seed: int = 3) -> ExperimentResult:
+    """Coverage of small-current defects: 1 sensor vs partitioned."""
+    circuit = load_iscas85("c5315" if quick else "c7552")
+    evaluator = PartitionEvaluator(circuit)
+    rng = random.Random(seed)
+    k = estimate_module_count(evaluator)
+    partitioned = chain_start_partition(evaluator, k, rng)
+    single = Partition.single_module(circuit)
+
+    # Defect currents straddling the nominal threshold: exactly the
+    # population a raised threshold loses.
+    defects = sample_bridging_faults(
+        circuit, 80, seed=seed, current_range_ua=(0.5, 8.0)
+    ) + sample_gate_oxide_shorts(circuit, 40, seed=seed + 1, current_range_ua=(0.5, 8.0))
+    patterns = random_patterns(len(circuit.input_names), 128 if quick else 512, seed=seed)
+
+    report_single = evaluate_coverage(circuit, single, defects, patterns)
+    report_multi = evaluate_coverage(circuit, partitioned, defects, patterns)
+
+    rows = [
+        [
+            "single global sensor",
+            1,
+            f"{report_single.worst_threshold_ua:.2f}",
+            f"{100 * report_single.coverage:.1f}%",
+        ],
+        [
+            f"partitioned ({k} sensors)",
+            k,
+            f"{report_multi.worst_threshold_ua:.2f}",
+            f"{100 * report_multi.coverage:.1f}%",
+        ],
+    ]
+    notes = [
+        f"{circuit.name}: {len(circuit.gate_names)} gates, "
+        f"{len(defects)} sampled defects (0.5-8 uA), {patterns.shape[0]} random vectors",
+        "the single sensor's effective threshold is pushed up by the whole-chip "
+        "fault-free leakage (discriminability), so sub-threshold defects escape",
+        f"coverage gain from partitioning: "
+        f"{100 * (report_multi.coverage - report_single.coverage):.1f} points",
+    ]
+    return ExperimentResult(
+        "Motivation (single vs partitioned sensor coverage)",
+        ["configuration", "#sensors", "worst eff. threshold [uA]", "coverage"],
+        rows,
+        notes,
+    )

@@ -1,0 +1,261 @@
+"""IDDQ-observable defect models.
+
+The defect classes the IDDQ literature the paper builds on established
+as current-testable (references [1]-[6] and [14] of the paper):
+
+* **bridging faults** — a resistive short between two signal nets;
+  quiescent current flows whenever the nets carry opposite values;
+* **gate-oxide shorts** — a pinhole from a transistor gate to the
+  channel; conducts when the affected input is driven to the level that
+  biases the short;
+* **stuck-on transistors** — a transistor that conducts regardless of
+  its gate voltage; a supply-to-ground path appears for the output state
+  the healthy transistor would have blocked.
+
+Each defect exposes its *activation* as a packed bit vector over
+simulated patterns and the set of gates whose module sensor observes the
+defect current.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FaultSimError
+from repro.faultsim.logic_sim import NodeValues
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "Defect",
+    "BridgingFault",
+    "GateOxideShort",
+    "StuckOnTransistor",
+    "sample_bridging_faults",
+    "sample_gate_oxide_shorts",
+    "sample_stuck_on_transistors",
+]
+
+
+@dataclass(frozen=True)
+class Defect:
+    """Base defect: a unique id, a defect current and observing gates.
+
+    ``observing_gates`` are logic-gate names whose virtual rail carries
+    the defect current — the modules containing them see the elevated
+    IDDQ.  (A bridge between two modules is observable from either
+    sensor; a bridge to a primary input is observable only from the
+    gate-side module.)
+    """
+
+    defect_id: str
+    current_ua: float
+    observing_gates: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.current_ua <= 0:
+            raise FaultSimError(f"{self.defect_id}: defect current must be > 0")
+        if not self.observing_gates:
+            raise FaultSimError(f"{self.defect_id}: no observing gates")
+
+    def activation(self, values: NodeValues) -> np.ndarray:
+        """Packed per-pattern activation bits (uint64 words)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BridgingFault(Defect):
+    """Short between nets ``net_a`` and ``net_b``; active on opposite values."""
+
+    net_a: str = ""
+    net_b: str = ""
+
+    def activation(self, values: NodeValues) -> np.ndarray:
+        a = values.packed[values.row_of[self.net_a]]
+        b = values.packed[values.row_of[self.net_b]]
+        return a ^ b
+
+
+@dataclass(frozen=True)
+class GateOxideShort(Defect):
+    """Oxide pinhole at one input of ``gate``; conducts when that input
+    carries ``active_value``."""
+
+    gate: str = ""
+    input_net: str = ""
+    active_value: int = 1
+
+    def activation(self, values: NodeValues) -> np.ndarray:
+        bits = values.packed[values.row_of[self.input_net]]
+        if self.active_value:
+            return bits.copy()
+        return ~bits
+
+
+@dataclass(frozen=True)
+class StuckOnTransistor(Defect):
+    """A permanently conducting transistor inside ``gate``.
+
+    A supply path exists when the healthy network would have blocked it:
+    for a stuck-on pull-up device that is whenever the output is 0, for
+    a stuck-on pull-down whenever the output is 1 — ``active_output``
+    selects which.
+    """
+
+    gate: str = ""
+    active_output: int = 1
+
+    def activation(self, values: NodeValues) -> np.ndarray:
+        bits = values.packed[values.row_of[self.gate]]
+        if self.active_output:
+            return bits.copy()
+        return ~bits
+
+
+def _default_rng(seed) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def sample_bridging_faults(
+    circuit: Circuit,
+    count: int,
+    seed=0,
+    current_range_ua: tuple[float, float] = (5.0, 200.0),
+    local_bias: int = 6,
+) -> list[BridgingFault]:
+    """Sample ``count`` distinct bridging faults.
+
+    Real bridges occur between physically adjacent wires; as a proxy,
+    with high probability the second net is drawn from nets close to the
+    first in the undirected circuit graph (within ``local_bias`` BFS
+    steps), else uniformly.
+    """
+    rng = _default_rng(seed)
+    nodes = list(circuit.all_names)
+    gate_set = set(circuit.gate_names)
+    faults: list[BridgingFault] = []
+    seen: set[frozenset[str]] = set()
+    adjacency = circuit.undirected_adjacency
+    attempts = 0
+    while len(faults) < count and attempts < count * 200:
+        attempts += 1
+        net_a = rng.choice(nodes)
+        if rng.random() < 0.8:
+            net_b = _nearby_net(adjacency, net_a, local_bias, rng)
+        else:
+            net_b = rng.choice(nodes)
+        if net_b is None or net_b == net_a:
+            continue
+        key = frozenset((net_a, net_b))
+        if key in seen:
+            continue
+        observers = tuple(n for n in (net_a, net_b) if n in gate_set)
+        if not observers:
+            continue  # a PI-to-PI bridge is invisible to any module sensor
+        seen.add(key)
+        current = rng.uniform(*current_range_ua)
+        faults.append(
+            BridgingFault(
+                defect_id=f"bridge:{net_a}~{net_b}",
+                current_ua=current,
+                observing_gates=observers,
+                net_a=net_a,
+                net_b=net_b,
+            )
+        )
+    if len(faults) < count:
+        raise FaultSimError(
+            f"could only sample {len(faults)} of {count} bridging faults"
+        )
+    return faults
+
+
+def _nearby_net(adjacency, start: str, radius: int, rng: random.Random) -> str | None:
+    frontier = [start]
+    seen = {start}
+    pool: list[str] = []
+    for _ in range(radius):
+        nxt: list[str] = []
+        for node in frontier:
+            for nbr in adjacency[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    nxt.append(nbr)
+                    pool.append(nbr)
+        frontier = nxt
+        if not frontier:
+            break
+    return rng.choice(pool) if pool else None
+
+
+def sample_gate_oxide_shorts(
+    circuit: Circuit,
+    count: int,
+    seed=0,
+    current_range_ua: tuple[float, float] = (2.0, 100.0),
+) -> list[GateOxideShort]:
+    """Sample oxide shorts at random gate inputs."""
+    rng = _default_rng(seed)
+    gates = list(circuit.gate_names)
+    faults: list[GateOxideShort] = []
+    seen: set[tuple[str, str, int]] = set()
+    attempts = 0
+    while len(faults) < count and attempts < count * 200:
+        attempts += 1
+        gate_name = rng.choice(gates)
+        gate = circuit.gate(gate_name)
+        input_net = rng.choice(gate.fanins)
+        active = rng.randint(0, 1)
+        key = (gate_name, input_net, active)
+        if key in seen:
+            continue
+        seen.add(key)
+        faults.append(
+            GateOxideShort(
+                defect_id=f"gos:{gate_name}/{input_net}={active}",
+                current_ua=rng.uniform(*current_range_ua),
+                observing_gates=(gate_name,),
+                gate=gate_name,
+                input_net=input_net,
+                active_value=active,
+            )
+        )
+    if len(faults) < count:
+        raise FaultSimError(f"could only sample {len(faults)} of {count} oxide shorts")
+    return faults
+
+
+def sample_stuck_on_transistors(
+    circuit: Circuit,
+    count: int,
+    seed=0,
+    current_range_ua: tuple[float, float] = (10.0, 400.0),
+) -> list[StuckOnTransistor]:
+    """Sample stuck-on transistor defects at random gates."""
+    rng = _default_rng(seed)
+    gates = list(circuit.gate_names)
+    faults: list[StuckOnTransistor] = []
+    seen: set[tuple[str, int]] = set()
+    attempts = 0
+    while len(faults) < count and attempts < count * 200:
+        attempts += 1
+        gate_name = rng.choice(gates)
+        active = rng.randint(0, 1)
+        key = (gate_name, active)
+        if key in seen:
+            continue
+        seen.add(key)
+        faults.append(
+            StuckOnTransistor(
+                defect_id=f"son:{gate_name}@{active}",
+                current_ua=rng.uniform(*current_range_ua),
+                observing_gates=(gate_name,),
+                gate=gate_name,
+                active_output=active,
+            )
+        )
+    if len(faults) < count:
+        raise FaultSimError(f"could only sample {len(faults)} of {count} stuck-on faults")
+    return faults

@@ -1,0 +1,118 @@
+"""Bit-parallel combinational logic simulation.
+
+Patterns are packed 64 per machine word; each node's value across all
+patterns is a small ``uint64`` array, and a gate evaluation is a couple
+of vectorised bitwise operations.  Even the 3512-gate C7552 stand-in
+simulates thousands of patterns per millisecond this way — fast enough
+that IDDQ coverage experiments run inside the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FaultSimError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import GateType
+
+__all__ = ["NodeValues", "LogicSimulator"]
+
+_WORD = 64
+
+
+class NodeValues:
+    """Packed simulation results: one bit per (node, pattern).
+
+    Access patterns:
+    * :meth:`value` — single node/pattern bit (tests, debugging);
+    * :meth:`unpack` — dense ``uint8`` matrix (patterns x nodes);
+    * :attr:`packed` + :attr:`row_of` — raw words for vectorised
+      consumers (the IDDQ computation and defect activation).
+    """
+
+    def __init__(self, packed: np.ndarray, row_of: dict[str, int], num_patterns: int):
+        self.packed = packed
+        self.row_of = row_of
+        self.num_patterns = num_patterns
+
+    def value(self, node: str, pattern: int) -> int:
+        if not 0 <= pattern < self.num_patterns:
+            raise FaultSimError(
+                f"pattern {pattern} out of range 0..{self.num_patterns - 1}"
+            )
+        row = self.row_of[node]
+        word, bit = divmod(pattern, _WORD)
+        return int((self.packed[row, word] >> np.uint64(bit)) & np.uint64(1))
+
+    def node_bits(self, node: str) -> np.ndarray:
+        """Unpacked 0/1 vector over patterns for one node."""
+        row = self.packed[self.row_of[node]]
+        bits = np.unpackbits(row.view(np.uint8), bitorder="little")
+        return bits[: self.num_patterns]
+
+    def unpack(self, nodes) -> np.ndarray:
+        """Dense ``(num_patterns, len(nodes))`` matrix of 0/1 values."""
+        columns = [self.node_bits(node) for node in nodes]
+        return np.stack(columns, axis=1) if columns else np.zeros((self.num_patterns, 0), np.uint8)
+
+
+class LogicSimulator:
+    """Compiled bit-parallel simulator for one circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.row_of = {name: i for i, name in enumerate(circuit.all_names)}
+        # Compile the evaluation schedule once: (row, type, fanin rows).
+        self._schedule: list[tuple[int, GateType, tuple[int, ...]]] = []
+        for name in circuit.topological_order:
+            gate = circuit.gate(name)
+            if gate.gate_type.is_input:
+                continue
+            rows = tuple(self.row_of[f] for f in gate.fanins)
+            self._schedule.append((self.row_of[name], gate.gate_type, rows))
+
+    def simulate(self, input_patterns: np.ndarray) -> NodeValues:
+        """Simulate a ``(num_patterns, num_inputs)`` 0/1 matrix.
+
+        Input columns follow :attr:`Circuit.input_names` order.
+        """
+        patterns = np.asarray(input_patterns)
+        if patterns.ndim != 2 or patterns.shape[1] != len(self.circuit.input_names):
+            raise FaultSimError(
+                f"expected (patterns, {len(self.circuit.input_names)}) input matrix, "
+                f"got shape {patterns.shape}"
+            )
+        num_patterns = patterns.shape[0]
+        if num_patterns == 0:
+            raise FaultSimError("need at least one pattern")
+        num_words = (num_patterns + _WORD - 1) // _WORD
+        packed = np.zeros((len(self.row_of), num_words), dtype=np.uint64)
+
+        # Pack inputs column by column.
+        for column, name in enumerate(self.circuit.input_names):
+            bits = np.zeros(num_words * _WORD, dtype=np.uint8)
+            bits[:num_patterns] = patterns[:, column] & 1
+            packed[self.row_of[name]] = np.packbits(bits, bitorder="little").view(np.uint64)
+
+        ones = np.full(num_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+        for row, gate_type, fanins in self._schedule:
+            acc = packed[fanins[0]].copy()
+            if gate_type in (GateType.AND, GateType.NAND):
+                for f in fanins[1:]:
+                    acc &= packed[f]
+            elif gate_type in (GateType.OR, GateType.NOR):
+                for f in fanins[1:]:
+                    acc |= packed[f]
+            elif gate_type in (GateType.XOR, GateType.XNOR):
+                for f in fanins[1:]:
+                    acc ^= packed[f]
+            # BUF/NOT fall through with acc = fanin value.
+            if gate_type in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
+                acc ^= ones
+            packed[row] = acc
+        return NodeValues(packed, self.row_of, num_patterns)
+
+    def simulate_outputs(self, input_patterns: np.ndarray) -> np.ndarray:
+        """Convenience: ``(patterns, outputs)`` 0/1 matrix."""
+        values = self.simulate(input_patterns)
+        return values.unpack(self.circuit.output_names)

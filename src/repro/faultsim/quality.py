@@ -1,0 +1,69 @@
+"""Test quality: defect level from coverage and yield.
+
+The IDDQ literature the paper builds on (its refs [4], [5]: "How Many
+Fault Coverages Do We Need?") connects fault coverage to shipped-product
+quality through the Williams–Brown model::
+
+    DL = 1 - Y^(1 - FC)
+
+where ``Y`` is the process yield and ``FC`` the fault coverage; ``DL``
+is the fraction of shipped parts that are defective.  This module makes
+the repository's coverage numbers interpretable in those terms — e.g.
+the motivation experiment's coverage gain from partitioning translates
+into a defect-level (DPM) reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultSimError
+from repro.faultsim.coverage import CoverageReport
+
+__all__ = ["QualityReport", "defect_level", "quality_from_coverage"]
+
+
+def defect_level(yield_fraction: float, fault_coverage: float) -> float:
+    """Williams–Brown defect level ``1 - Y^(1-FC)``.
+
+    Args:
+        yield_fraction: process yield in (0, 1].
+        fault_coverage: fault coverage in [0, 1].
+    """
+    if not 0.0 < yield_fraction <= 1.0:
+        raise FaultSimError(f"yield must lie in (0, 1], got {yield_fraction}")
+    if not 0.0 <= fault_coverage <= 1.0:
+        raise FaultSimError(f"coverage must lie in [0, 1], got {fault_coverage}")
+    return 1.0 - yield_fraction ** (1.0 - fault_coverage)
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Defect level implied by a coverage result at a given yield."""
+
+    coverage: float
+    yield_fraction: float
+    defect_level: float
+
+    @property
+    def defects_per_million(self) -> float:
+        return self.defect_level * 1e6
+
+    def summary(self) -> str:
+        return (
+            f"coverage {100 * self.coverage:.1f}% at yield "
+            f"{100 * self.yield_fraction:.0f}% -> defect level "
+            f"{self.defects_per_million:.0f} DPM"
+        )
+
+
+def quality_from_coverage(
+    report: CoverageReport, yield_fraction: float = 0.9
+) -> QualityReport:
+    """Quality implied by a :class:`CoverageReport`."""
+    dl = defect_level(yield_fraction, report.coverage)
+    return QualityReport(
+        coverage=report.coverage,
+        yield_fraction=yield_fraction,
+        defect_level=dl,
+    )

@@ -1,0 +1,37 @@
+"""End-to-end synthesis flow (the paper's "automatic incorporation of
+the sensors using parameterized BIC cells").
+
+:func:`~repro.flow.synthesis.synthesize_iddq_testable` takes a circuit
+and produces an :class:`~repro.flow.design.IDDQDesign`: an optimised
+partition, one sized BIC sensor per module, the sensorised netlist and a
+human-readable report.
+"""
+
+from repro.flow.design import IDDQDesign
+from repro.flow.synthesis import synthesize_iddq_testable
+from repro.flow.report import format_table, render_evaluation, render_design
+from repro.flow.compare import MethodComparison, compare_methods
+from repro.flow.io import (
+    design_summary_dict,
+    load_partition_json,
+    partition_from_dict,
+    partition_to_dict,
+    save_design_summary_json,
+    save_partition_json,
+)
+
+__all__ = [
+    "IDDQDesign",
+    "synthesize_iddq_testable",
+    "format_table",
+    "render_evaluation",
+    "render_design",
+    "MethodComparison",
+    "compare_methods",
+    "partition_to_dict",
+    "partition_from_dict",
+    "save_partition_json",
+    "load_partition_json",
+    "design_summary_dict",
+    "save_design_summary_json",
+]

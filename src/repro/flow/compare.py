@@ -1,0 +1,91 @@
+"""Evolution-vs-standard comparison for one circuit.
+
+The reusable core of the Table 1 experiment, exposed as a flow utility
+(and through ``python -m repro compare``): run the evolution strategy,
+build the §5 standard partition at the same module count, and diff the
+two designs on every reported axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SynthesisConfig
+from repro.flow.report import format_table
+from repro.netlist.circuit import Circuit
+from repro.optimize.evolution import evolve_partition
+from repro.optimize.standard import standard_partition
+from repro.partition.evaluator import PartitionEvaluation, PartitionEvaluator
+from repro.partition.metrics import compute_metrics
+
+__all__ = ["MethodComparison", "compare_methods"]
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Evolution vs standard on one circuit."""
+
+    circuit_name: str
+    evolution: PartitionEvaluation
+    standard: PartitionEvaluation
+    generations: int
+    evaluations: int
+
+    @property
+    def area_overhead_pct(self) -> float:
+        """How much more sensor area the standard method needs (in %)."""
+        return 100.0 * (
+            self.standard.sensor_area_total / self.evolution.sensor_area_total - 1.0
+        )
+
+    def render(self) -> str:
+        headers = ["method", "#modules", "sensor area", "delay ovh", "test ovh", "cost"]
+        rows = []
+        for label, evaluation in (
+            ("evolution (paper §4)", self.evolution),
+            ("standard (paper §5)", self.standard),
+        ):
+            rows.append(
+                [
+                    label,
+                    evaluation.num_modules,
+                    evaluation.sensor_area_total,
+                    f"{100 * evaluation.delay_overhead:.2f}%",
+                    f"{100 * evaluation.test_time_overhead:.2f}%",
+                    f"{evaluation.cost:.2f}",
+                ]
+            )
+        lines = [
+            f"{self.circuit_name}: standard needs {self.area_overhead_pct:.1f}% more "
+            f"BIC sensor area ({self.generations} generations, "
+            f"{self.evaluations} evaluations)",
+            format_table(headers, rows),
+            "",
+            f"evolution partition: {compute_metrics(self.evolution.partition).summary()}",
+            f"standard  partition: {compute_metrics(self.standard.partition).summary()}",
+        ]
+        return "\n".join(lines)
+
+
+def compare_methods(
+    circuit: Circuit,
+    config: SynthesisConfig | None = None,
+    seed: int = 1995,
+    evaluator: PartitionEvaluator | None = None,
+) -> MethodComparison:
+    """Run both methods on ``circuit`` and package the diff."""
+    config = config or SynthesisConfig()
+    if evaluator is None:
+        evaluator = PartitionEvaluator(circuit, weights=config.weights)
+    result = evolve_partition(evaluator, config.evolution, seed=seed)
+    evolution = result.best
+    standard = evaluator.evaluate(
+        standard_partition(evaluator, evolution.num_modules)
+    )
+    return MethodComparison(
+        circuit_name=circuit.name,
+        evolution=evolution,
+        standard=standard,
+        generations=result.generations_run,
+        evaluations=result.evaluations,
+    )

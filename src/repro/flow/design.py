@@ -1,0 +1,66 @@
+"""The :class:`IDDQDesign` result object of the synthesis flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SynthesisConfig
+from repro.library.library import CellLibrary
+from repro.library.technology import Technology
+from repro.netlist.circuit import Circuit
+from repro.optimize.result import OptimizationResult
+from repro.partition.evaluator import PartitionEvaluation
+from repro.sensors.insertion import SensorizedDesign
+
+__all__ = ["IDDQDesign"]
+
+
+@dataclass
+class IDDQDesign:
+    """Everything the flow produced for one circuit.
+
+    Attributes:
+        circuit: the original CUT.
+        library / technology: the characterisation used.
+        config: flow configuration (weights, ES parameters, seed).
+        result: the optimiser run (history, budgets, convergence).
+        evaluation: the chosen partition, fully evaluated.
+        sensorized: the netlist with sensors incorporated.
+    """
+
+    circuit: Circuit
+    library: CellLibrary
+    technology: Technology
+    config: SynthesisConfig
+    result: OptimizationResult
+    evaluation: PartitionEvaluation
+    sensorized: SensorizedDesign
+
+    @property
+    def partition(self):
+        return self.evaluation.partition
+
+    @property
+    def num_modules(self) -> int:
+        return self.evaluation.num_modules
+
+    @property
+    def sensor_area_total(self) -> float:
+        return self.evaluation.sensor_area_total
+
+    @property
+    def delay_overhead(self) -> float:
+        return self.evaluation.delay_overhead
+
+    @property
+    def test_time_overhead(self) -> float:
+        return self.evaluation.test_time_overhead
+
+    def report(self) -> str:
+        from repro.flow.report import render_design
+
+        return render_design(self)
+
+    def to_bench(self) -> str:
+        """The sensorised netlist in extended ``.bench`` form."""
+        return self.sensorized.to_bench()

@@ -1,0 +1,103 @@
+"""Serialisation of designs and partitions.
+
+Partitions and design summaries round-trip through JSON so flows can be
+split across tool invocations (partition once, analyse elsewhere) and so
+results are archivable next to the netlist.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import PartitionError
+from repro.flow.design import IDDQDesign
+from repro.netlist.circuit import Circuit
+from repro.partition.partition import Partition
+
+__all__ = [
+    "partition_to_dict",
+    "partition_from_dict",
+    "save_partition_json",
+    "load_partition_json",
+    "design_summary_dict",
+    "save_design_summary_json",
+]
+
+
+def partition_to_dict(partition: Partition) -> dict:
+    """Name-based representation: ``{"circuit": ..., "modules": {...}}``."""
+    names = partition.circuit.gate_names
+    modules = {
+        str(module): sorted(names[g] for g in partition.gates_of(module))
+        for module in partition.module_ids
+    }
+    return {"circuit": partition.circuit.name, "modules": modules}
+
+
+def partition_from_dict(circuit: Circuit, data: dict) -> Partition:
+    """Rebuild a partition onto ``circuit``; validates the cover."""
+    try:
+        modules = data["modules"]
+    except (KeyError, TypeError) as exc:
+        raise PartitionError(f"malformed partition data: {exc}") from exc
+    if data.get("circuit") not in (None, circuit.name):
+        raise PartitionError(
+            f"partition was saved for circuit {data.get('circuit')!r}, "
+            f"not {circuit.name!r}"
+        )
+    return Partition.from_groups(circuit, modules.values())
+
+
+def save_partition_json(partition: Partition, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(partition_to_dict(partition), indent=2) + "\n")
+
+
+def load_partition_json(circuit: Circuit, path: str | Path) -> Partition:
+    return partition_from_dict(circuit, json.loads(Path(path).read_text()))
+
+
+def design_summary_dict(design: IDDQDesign) -> dict:
+    """Archivable summary of a synthesised design (numbers, not objects)."""
+    evaluation = design.evaluation
+    return {
+        "circuit": design.circuit.name,
+        "num_gates": len(design.circuit.gate_names),
+        "library": design.library.name,
+        "technology": design.technology.name,
+        "feasible": evaluation.feasible,
+        "num_modules": evaluation.num_modules,
+        "cost": evaluation.cost,
+        "sensor_area_total": evaluation.sensor_area_total,
+        "nominal_delay_ns": evaluation.nominal_delay_ns,
+        "degraded_delay_ns": evaluation.degraded_delay_ns,
+        "delay_overhead": evaluation.delay_overhead,
+        "test_time_overhead": evaluation.test_time_overhead,
+        "cost_terms": evaluation.breakdown.terms(),
+        "modules": [
+            {
+                "module_id": m.module_id,
+                "num_gates": m.num_gates,
+                "max_current_ma": m.max_current_ma,
+                "leakage_na": m.leakage_na,
+                "discriminability": m.discriminability,
+                "rs_ohm": m.sensor.rs_ohm,
+                "sensor_area": m.sensor.area,
+                "cs_ff": m.sensor.cs_ff,
+                "settle_time_ns": m.settle_time_ns,
+            }
+            for m in evaluation.modules
+        ],
+        "partition": partition_to_dict(evaluation.partition),
+        "optimizer": {
+            "name": design.result.optimizer,
+            "generations": design.result.generations_run,
+            "evaluations": design.result.evaluations,
+            "converged": design.result.converged,
+            "seed": design.result.seed,
+        },
+    }
+
+
+def save_design_summary_json(design: IDDQDesign, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(design_summary_dict(design), indent=2) + "\n")

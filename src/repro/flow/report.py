@@ -1,0 +1,89 @@
+"""Plain-text report rendering (Table 1 style)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.partition.evaluator import PartitionEvaluation
+
+__all__ = ["format_table", "render_evaluation", "render_design"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Align ``rows`` under ``headers`` with a separator line.
+
+    Numbers are rendered with :func:`format_number`; everything else via
+    ``str``.
+    """
+    rendered = [[format_number(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_number(value: object) -> str:
+    """Paper-style number formatting: scientific for big magnitudes,
+    percentages already carry their sign."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    magnitude = abs(value)
+    if magnitude == 0:
+        return "0"
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.2E}"
+    return f"{value:.4g}"
+
+
+def render_evaluation(evaluation: PartitionEvaluation) -> str:
+    """Multi-line summary of one evaluated partition."""
+    lines = [
+        f"partition: {evaluation.num_modules} modules, "
+        f"{'feasible' if evaluation.feasible else 'INFEASIBLE'}",
+        f"global cost C(pi) = {evaluation.cost:.4f}",
+        f"sensor area total = {format_number(evaluation.sensor_area_total)}",
+        f"delay: D = {evaluation.nominal_delay_ns:.3f} ns, "
+        f"D_BIC = {evaluation.degraded_delay_ns:.3f} ns "
+        f"({100 * evaluation.delay_overhead:.2f}% overhead)",
+        f"test time overhead = {100 * evaluation.test_time_overhead:.2f}%",
+        "",
+    ]
+    headers = ["module", "gates", "i_max[mA]", "Rs[ohm]", "area", "leak[nA]", "discr.", "settle[ns]"]
+    rows = [
+        [
+            m.module_id,
+            m.num_gates,
+            m.max_current_ma,
+            m.sensor.rs_ohm,
+            m.sensor.area,
+            m.leakage_na,
+            m.discriminability,
+            m.settle_time_ns,
+        ]
+        for m in evaluation.modules
+    ]
+    lines.append(format_table(headers, rows))
+    return "\n".join(lines)
+
+
+def render_design(design) -> str:
+    """Report for a full :class:`~repro.flow.design.IDDQDesign`."""
+    lines = [
+        f"IDDQ-testable design for {design.circuit.name} "
+        f"({len(design.circuit.gate_names)} gates)",
+        f"optimizer: {design.result.summary()}",
+        f"monitor overhead: {design.sensorized.monitor_gate_count} gates "
+        f"(test clock + FAIL combine tree)",
+        "",
+        render_evaluation(design.evaluation),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Cell library and technology data.
+
+The paper's estimators are "evaluated using parameterized electrical
+level information of the target cell library" (§1).  This subpackage
+holds that information: per-cell electrical characterisation
+(:class:`~repro.library.cell.CellSpec`), global technology constants
+(:class:`~repro.library.technology.Technology`) and a generic CMOS-like
+default characterisation standing in for the paper's SPICE data
+(DESIGN.md §5.2).
+"""
+
+from repro.library.cell import CellSpec
+from repro.library.library import CellLibrary
+from repro.library.technology import Technology
+from repro.library.default_lib import generic_library, generic_technology
+from repro.library.scaling import CORNERS, fast_hot_corner, scale_library, slow_cold_corner
+from repro.library.io import (
+    library_from_dict,
+    library_to_dict,
+    load_library_json,
+    save_library_json,
+    technology_from_dict,
+    technology_to_dict,
+)
+
+__all__ = [
+    "CellSpec",
+    "CellLibrary",
+    "Technology",
+    "generic_library",
+    "generic_technology",
+    "CORNERS",
+    "scale_library",
+    "fast_hot_corner",
+    "slow_cold_corner",
+    "library_from_dict",
+    "library_to_dict",
+    "load_library_json",
+    "save_library_json",
+    "technology_from_dict",
+    "technology_to_dict",
+]

@@ -1,0 +1,109 @@
+"""Generic CMOS-like default characterisation.
+
+This module is the documented stand-in for the paper's SPICE-characterised
+target library (DESIGN.md §5.2).  The magnitudes are chosen to be
+physically plausible for the paper's era (0.7 um-class CMOS, VDD = 5 V)
+and to land the Table 1 quantities in the paper's ranges:
+
+* gate peak transient currents of a few hundred uA, so modules of a few
+  hundred gates draw tens of mA worst-case and need bypass switches of a
+  few ohms;
+* worst-case gate leakages around 0.2 nA, so with ``IDDQ,th = 1 uA`` and
+  ``d = 10`` a module may hold roughly 500 gates before discriminability
+  breaks — giving the paper's 2-6 modules on the Table 1 circuits;
+* sensor area constants ``A0 = 5e4``, ``A1 = 1e6`` ohm-units, putting
+  total sensor areas in the 1e5-1e7 unit range of Table 1.
+
+Every constant is data; swap in a real characterisation via
+:mod:`repro.library.io`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.library.cell import CellSpec
+from repro.library.library import CellLibrary
+from repro.library.technology import Technology
+
+__all__ = ["generic_library", "generic_technology", "MULTI_INPUT_ARITIES"]
+
+#: Arities characterised for each multi-input function.
+MULTI_INPUT_ARITIES = tuple(range(2, 10))
+
+#: Per-function base parameters: (delay ns, peak mA, leak-min nA,
+#: leak-max nA, in-cap fF, out-cap fF, rail-cap fF, pulldown ohm, area).
+_BASE = {
+    "BUF": (0.50, 0.18, 0.06, 0.10, 9.0, 12.0, 11.0, 5200.0, 10.0),
+    "NOT": (0.35, 0.20, 0.05, 0.09, 8.0, 11.0, 10.0, 4800.0, 8.0),
+    "AND": (0.70, 0.30, 0.09, 0.16, 10.0, 14.0, 15.0, 4200.0, 14.0),
+    "NAND": (0.55, 0.28, 0.08, 0.15, 10.0, 13.0, 13.0, 3800.0, 12.0),
+    "OR": (0.75, 0.32, 0.10, 0.18, 10.0, 14.0, 15.0, 4400.0, 14.0),
+    "NOR": (0.60, 0.30, 0.09, 0.17, 10.0, 13.0, 13.0, 4000.0, 12.0),
+    "XOR": (0.95, 0.45, 0.14, 0.26, 12.0, 16.0, 19.0, 3600.0, 22.0),
+    "XNOR": (1.00, 0.46, 0.15, 0.27, 12.0, 16.0, 19.0, 3600.0, 23.0),
+}
+
+#: Per-extra-input scaling: wider gates are slower, draw more transient
+#: current, leak more and load the rails more.
+_PER_INPUT = {
+    "delay": 0.12,
+    "peak": 0.06,
+    "leak": 0.035,
+    "in_cap": 0.0,
+    "out_cap": 1.5,
+    "rail_cap": 2.5,
+    "pulldown": 350.0,
+    "area": 3.5,
+}
+
+
+def _cell(function: str, arity: int) -> CellSpec:
+    delay, peak, leak_lo, leak_hi, in_cap, out_cap, rail_cap, pulldown, area = _BASE[function]
+    extra = max(0, arity - 2) if arity >= 2 else 0
+    name = function if arity <= 1 else f"{function}{arity}"
+    return CellSpec(
+        name=name,
+        gate_type=function,
+        arity=arity,
+        delay_ns=delay + extra * _PER_INPUT["delay"],
+        peak_current_ma=peak + extra * _PER_INPUT["peak"],
+        leakage_na_min=leak_lo + extra * _PER_INPUT["leak"] * 0.6,
+        leakage_na_max=leak_hi + extra * _PER_INPUT["leak"],
+        input_cap_ff=in_cap,
+        output_cap_ff=out_cap + extra * _PER_INPUT["out_cap"],
+        rail_cap_ff=rail_cap + extra * _PER_INPUT["rail_cap"],
+        pulldown_res_ohm=pulldown + extra * _PER_INPUT["pulldown"],
+        area=area + extra * _PER_INPUT["area"],
+    )
+
+
+@lru_cache(maxsize=None)
+def generic_library() -> CellLibrary:
+    """The default generic library (cached singleton)."""
+    cells = [_cell("BUF", 1), _cell("NOT", 1)]
+    for function in ("AND", "NAND", "OR", "NOR", "XOR", "XNOR"):
+        cells.extend(_cell(function, arity) for arity in MULTI_INPUT_ARITIES)
+    return CellLibrary("generic-0.7um", cells)
+
+
+@lru_cache(maxsize=None)
+def generic_technology() -> Technology:
+    """Default technology/test constants matching the paper's setting:
+    ``IDDQ,th = 1 uA`` (§1), ``d = 10`` (§2), rail limit 200 mV — the
+    middle of the paper's 100-300 mV band (§3.1)."""
+    return Technology(
+        name="generic-0.7um",
+        vdd_v=5.0,
+        rail_limit_v=0.2,
+        sensor_area_a0=5.0e4,
+        sensor_area_a1=1.0e6,
+        iddq_threshold_ua=1.0,
+        discriminability=10.0,
+        separation_cap=10,
+        sense_time_ns=5.0,
+        decay_floor_ua=0.1,
+        min_rs_ohm=0.5,
+        max_rs_ohm=5.0e4,
+        grid_unit_ns=0.7,
+    )

@@ -1,0 +1,72 @@
+"""The :class:`CellLibrary` container binding gates to cell data."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import LibraryError
+from repro.library.cell import CellSpec
+from repro.netlist.gate import Gate, GateType
+
+__all__ = ["CellLibrary"]
+
+
+class CellLibrary:
+    """A named collection of :class:`CellSpec` entries.
+
+    Gates bind to cells either explicitly (``gate.cell``) or implicitly by
+    type and fanin count (``NAND3`` etc.).  Lookups for missing cells fail
+    loudly — a silently defaulted characterisation would skew every
+    estimator.
+    """
+
+    def __init__(self, name: str, cells: Iterable[CellSpec]):
+        self.name = name
+        self._cells: dict[str, CellSpec] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise LibraryError(f"duplicate cell {cell.name!r} in library {name!r}")
+            self._cells[cell.name] = cell
+        if not self._cells:
+            raise LibraryError(f"library {name!r} has no cells")
+
+    def __contains__(self, cell_name: str) -> bool:
+        return cell_name in self._cells
+
+    def __iter__(self) -> Iterator[CellSpec]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell(self, cell_name: str) -> CellSpec:
+        try:
+            return self._cells[cell_name]
+        except KeyError:
+            raise LibraryError(
+                f"library {self.name!r} has no cell {cell_name!r}"
+            ) from None
+
+    def for_gate(self, gate: Gate) -> CellSpec:
+        """Resolve the cell characterising ``gate``.
+
+        Explicit ``gate.cell`` wins; otherwise the type/arity default name
+        is used.  INPUT pseudo-gates are not in the library by design —
+        callers must not ask for them.
+        """
+        if gate.gate_type is GateType.INPUT:
+            raise LibraryError("primary inputs have no library cell")
+        name = gate.cell or gate.default_cell_name()
+        return self.cell(name)
+
+    # ------------------------------------------------------------ aggregates
+    def mean_peak_current_ma(self) -> float:
+        """Average peak transient current over all cells — used by the
+        start-partition module-size pre-estimation (paper §4.2)."""
+        return sum(c.peak_current_ma for c in self._cells.values()) / len(self._cells)
+
+    def mean_leakage_na(self) -> float:
+        return sum(c.leakage_na_worst for c in self._cells.values()) / len(self._cells)
+
+    def mean_delay_ns(self) -> float:
+        return sum(c.delay_ns for c in self._cells.values()) / len(self._cells)

@@ -1,0 +1,60 @@
+"""Adder cells used by the structural array multiplier.
+
+The C6288 benchmark — one of the six circuits in the paper's Table 1 —
+is a 16x16 carry-save array multiplier.  We rebuild that structure from
+half adders and full adders expressed in basic gates, so the stand-in
+circuit has the same two-dimensional array organisation that the paper's
+Figure 2 argument about partition *shape* relies on.
+
+Both cells are emitted into an existing
+:class:`~repro.netlist.builder.CircuitBuilder` and return the (sum,
+carry) net names.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.gate import GateType
+
+__all__ = ["half_adder_gates", "full_adder_gates"]
+
+
+def half_adder_gates(
+    builder: CircuitBuilder, a: str, b: str, prefix: str
+) -> tuple[str, str]:
+    """Emit a half adder; returns ``(sum, carry)`` net names.
+
+    sum = a XOR b, carry = a AND b — two gates, matching the classic
+    array-multiplier cell decomposition.
+    """
+    sum_net = f"{prefix}_s"
+    carry_net = f"{prefix}_c"
+    builder.gate(sum_net, GateType.XOR, [a, b])
+    builder.gate(carry_net, GateType.AND, [a, b])
+    return sum_net, carry_net
+
+
+def full_adder_gates(
+    builder: CircuitBuilder, a: str, b: str, cin: str, prefix: str
+) -> tuple[str, str]:
+    """Emit a full adder; returns ``(sum, carry)`` net names.
+
+    Implemented as the standard five-gate decomposition::
+
+        p    = a XOR b
+        sum  = p XOR cin
+        g    = a AND b
+        t    = p AND cin
+        cout = g OR t
+    """
+    p = f"{prefix}_p"
+    g = f"{prefix}_g"
+    t = f"{prefix}_t"
+    sum_net = f"{prefix}_s"
+    carry_net = f"{prefix}_c"
+    builder.gate(p, GateType.XOR, [a, b])
+    builder.gate(sum_net, GateType.XOR, [p, cin])
+    builder.gate(g, GateType.AND, [a, b])
+    builder.gate(t, GateType.AND, [p, cin])
+    builder.gate(carry_net, GateType.OR, [g, t])
+    return sum_net, carry_net

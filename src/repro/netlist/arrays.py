@@ -1,0 +1,127 @@
+"""The Figure 2 wave-array CUT: a 2-D array with three cell types.
+
+The paper's Figure 2 sketches a CUT "with a two-dimensional array
+structure involving three cell types" C1, C2, C3, where grouping cells
+that do not switch in parallel (partition 1) needs smaller bypass
+switches than grouping cells that do (partition 2).  This generator
+builds that texture *exactly*:
+
+* ``rows`` independent horizontal pipelines of ``cols`` cells each;
+* every cell is two gate-levels deep and — thanks to a per-row delay
+  spine that re-times the cell's second input — all of a cell's gates
+  transition precisely in the slots ``{2j+1, 2j+2}`` of its column
+  ``j``, with no other possible arrival times;
+* the cell type cycles C1 (inverter cell) / C2 (NAND cell) / C3 (NOR
+  cell) along the columns.
+
+Consequences: cells in one *column* all switch in the same two slots
+(the paper's partition 2 — worst case), cells in one *row* switch in
+pairwise disjoint slots (partition 1 — best case).  The per-group
+maximum current ratio between the two partitions approaches the row
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import GateType
+
+__all__ = ["WaveArray", "wave_array"]
+
+
+@dataclass(frozen=True)
+class WaveArray:
+    """A wave-array circuit plus its cell grid.
+
+    ``cells[(row, col)]`` lists every gate of that array cell, including
+    the cell's share of the row's delay spine — so row/column gate sets
+    partition the whole circuit.
+    """
+
+    circuit: Circuit
+    rows: int
+    cols: int
+    cells: Mapping[tuple[int, int], tuple[str, ...]]
+
+    def row_gates(self, row: int) -> tuple[str, ...]:
+        names: list[str] = []
+        for col in range(self.cols):
+            names.extend(self.cells[(row, col)])
+        return tuple(names)
+
+    def column_gates(self, col: int) -> tuple[str, ...]:
+        names: list[str] = []
+        for row in range(self.rows):
+            names.extend(self.cells[(row, col)])
+        return tuple(names)
+
+    @staticmethod
+    def cell_type(col: int) -> str:
+        return ("C1", "C2", "C3")[col % 3]
+
+
+def wave_array(rows: int, cols: int, name: str | None = None) -> WaveArray:
+    """Generate a ``rows x cols`` wave array.
+
+    Inputs: one data input ``d<i>`` per row plus shared ``bias_and`` /
+    ``bias_or`` nets used only by column 0 (so they cannot smear
+    transition times across columns).  Outputs: each pipeline's tail.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"wave array needs positive dimensions, got {rows}x{cols}")
+    builder = CircuitBuilder(name or f"wave{rows}x{cols}")
+    bias_and = "bias_and"
+    bias_or = "bias_or"
+    builder.input(bias_and)
+    builder.input(bias_or)
+    cells: dict[tuple[int, int], list[str]] = {}
+
+    for row in range(rows):
+        data = f"d{row}"
+        builder.input(data)
+        # Delay spine: spine[k] carries the data input delayed by k gate
+        # levels, so a cell's second input arrives exactly with its first.
+        spine_prev = data
+        spine_names: list[str] = []  # spine_names[k-1] has T = {k}
+        for k in range(1, 2 * (cols - 1) + 1):
+            spine = f"s{row}_{k}"
+            builder.gate(spine, GateType.BUF, [spine_prev])
+            spine_names.append(spine)
+            spine_prev = spine
+
+        previous = data  # data-chain value entering the cell; T = {2j}
+        for col in range(cols):
+            prefix = f"r{row}c{col}"
+            first = f"{prefix}_a"
+            second = f"{prefix}_b"
+            kind = col % 3
+            if col == 0:
+                timed_partner = bias_and if kind == 1 else bias_or
+            else:
+                timed_partner = spine_names[2 * col - 1]  # T = {2j}
+            if kind == 0:  # C1: inverter cell
+                builder.gate(first, GateType.NOT, [previous])
+            elif kind == 1:  # C2: NAND cell
+                builder.gate(first, GateType.NAND, [previous, timed_partner])
+            else:  # C3: NOR cell
+                builder.gate(first, GateType.NOR, [previous, timed_partner])
+            builder.gate(second, GateType.NOT, [first])
+            owned = [first, second]
+            # The cell also owns its spine segment (same time slots).
+            for k in (2 * col + 1, 2 * col + 2):
+                if k - 1 < len(spine_names):
+                    owned.append(spine_names[k - 1])
+            cells[(row, col)] = owned
+            previous = second
+        builder.output(previous)
+
+    return WaveArray(
+        circuit=builder.build(),
+        rows=rows,
+        cols=cols,
+        cells={key: tuple(value) for key, value in cells.items()},
+    )

@@ -1,0 +1,89 @@
+"""Fluent incremental construction of :class:`~repro.netlist.circuit.Circuit`.
+
+The builder keeps insertion order (so generated netlists are stable and
+diffable), validates names eagerly and defers the global structural checks
+to :meth:`CircuitBuilder.build`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import Gate, GateType
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Accumulates gates and produces an immutable :class:`Circuit`.
+
+    Example::
+
+        b = CircuitBuilder("c17")
+        for pi in ("1", "2", "3", "6", "7"):
+            b.input(pi)
+        b.gate("10", GateType.NAND, ["1", "3"])
+        ...
+        circuit = b.outputs(["22", "23"]).build()
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise NetlistError("circuit name must be non-empty")
+        self.name = name
+        self._gates: dict[str, Gate] = {}
+        self._outputs: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._gates
+
+    def input(self, name: str) -> "CircuitBuilder":
+        """Declare a primary input."""
+        return self.add(Gate(name, GateType.INPUT))
+
+    def gate(
+        self,
+        name: str,
+        gate_type: GateType | str,
+        fanins: Sequence[str],
+        cell: str = "",
+    ) -> "CircuitBuilder":
+        """Add a logic gate driven by ``fanins`` (which must exist already
+        or be added before :meth:`build`)."""
+        if isinstance(gate_type, str):
+            gate_type = GateType(gate_type.upper())
+        return self.add(Gate(name, gate_type, tuple(fanins), cell=cell))
+
+    def add(self, gate: Gate) -> "CircuitBuilder":
+        if gate.name in self._gates:
+            raise NetlistError(f"gate {gate.name!r} already defined in builder {self.name!r}")
+        self._gates[gate.name] = gate
+        return self
+
+    def output(self, name: str) -> "CircuitBuilder":
+        """Mark an existing (or future) gate as a primary output."""
+        self._outputs.append(name)
+        return self
+
+    def outputs(self, names: Iterable[str]) -> "CircuitBuilder":
+        for name in names:
+            self.output(name)
+        return self
+
+    def fresh_name(self, prefix: str) -> str:
+        """Return a name of the form ``prefix``/``prefixN`` not yet used."""
+        if prefix not in self._gates:
+            return prefix
+        index = 1
+        while f"{prefix}_{index}" in self._gates:
+            index += 1
+        return f"{prefix}_{index}"
+
+    def build(self) -> Circuit:
+        """Validate and freeze into a :class:`Circuit`."""
+        return Circuit(self.name, self._gates.values(), self._outputs)

@@ -1,0 +1,249 @@
+"""The :class:`Circuit` model — a DAG of gates plus derived structure.
+
+Everything downstream (estimators, partitioning, fault simulation) works
+on this class.  A circuit is immutable once constructed: derived data
+(topological order, levels, undirected adjacency) is computed lazily and
+cached, which is safe precisely because mutation is not allowed.  Use
+:class:`repro.netlist.builder.CircuitBuilder` to construct circuits
+incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import NetlistError
+from repro.netlist.gate import Gate, GateType
+
+__all__ = ["Circuit", "CircuitStats"]
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics used by reports and the synthetic generator."""
+
+    name: str
+    num_gates: int
+    num_inputs: int
+    num_outputs: int
+    depth: int
+    max_fanin: int
+    max_fanout: int
+    type_counts: Mapping[str, int]
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "circuit": self.name,
+            "gates": self.num_gates,
+            "PIs": self.num_inputs,
+            "POs": self.num_outputs,
+            "depth": self.depth,
+            "max fanin": self.max_fanin,
+            "max fanout": self.max_fanout,
+        }
+
+
+class Circuit:
+    """A combinational gate-level circuit.
+
+    The paper models the CUT as a directed graph ``C = (G, T)`` with gate
+    set ``G`` and connection set ``T``; this class is exactly that, plus
+    named primary outputs.  *Gates* in the partitioning sense exclude the
+    INPUT pseudo-gates (primary inputs are pads, they draw no quiescent
+    current and are never assigned to a module).
+    """
+
+    def __init__(self, name: str, gates: Iterable[Gate], outputs: Iterable[str]):
+        self.name = name
+        self._gates: dict[str, Gate] = {}
+        for gate in gates:
+            if gate.name in self._gates:
+                raise NetlistError(f"duplicate gate name {gate.name!r} in circuit {name!r}")
+            self._gates[gate.name] = gate
+        self._outputs: tuple[str, ...] = tuple(outputs)
+        self._validate()
+
+    # ------------------------------------------------------------------ access
+    def __contains__(self, name: str) -> bool:
+        return name in self._gates
+
+    def __len__(self) -> int:
+        """Number of *logic* gates (primary inputs excluded), the paper's ``n``."""
+        return len(self.gate_names)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates.values())
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self._gates[name]
+        except KeyError:
+            raise NetlistError(f"no gate named {name!r} in circuit {self.name!r}") from None
+
+    @cached_property
+    def input_names(self) -> tuple[str, ...]:
+        return tuple(g.name for g in self._gates.values() if g.gate_type.is_input)
+
+    @cached_property
+    def gate_names(self) -> tuple[str, ...]:
+        """Names of all logic gates (excludes INPUT pseudo-gates), in file order."""
+        return tuple(g.name for g in self._gates.values() if not g.gate_type.is_input)
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        return self._outputs
+
+    @property
+    def all_names(self) -> tuple[str, ...]:
+        return tuple(self._gates)
+
+    # ------------------------------------------------------------- validation
+    def _validate(self) -> None:
+        if not self._gates:
+            raise NetlistError(f"circuit {self.name!r} has no gates")
+        for gate in self._gates.values():
+            for fanin in gate.fanins:
+                if fanin not in self._gates:
+                    raise NetlistError(
+                        f"gate {gate.name!r} references undefined fanin {fanin!r}"
+                    )
+        for out in self._outputs:
+            if out not in self._gates:
+                raise NetlistError(f"primary output {out!r} is not a gate")
+        if len(set(self._outputs)) != len(self._outputs):
+            raise NetlistError(f"duplicate primary outputs in circuit {self.name!r}")
+        if not self._outputs:
+            raise NetlistError(f"circuit {self.name!r} has no primary outputs")
+        if not self.input_names:
+            raise NetlistError(f"circuit {self.name!r} has no primary inputs")
+        # Topological order doubles as the cycle check.
+        _ = self.topological_order
+
+    # ------------------------------------------------------- derived structure
+    @cached_property
+    def fanouts(self) -> dict[str, tuple[str, ...]]:
+        """Map from gate name to the names of gates it drives."""
+        result: dict[str, list[str]] = {name: [] for name in self._gates}
+        for gate in self._gates.values():
+            for fanin in gate.fanins:
+                result[fanin].append(gate.name)
+        return {name: tuple(sinks) for name, sinks in result.items()}
+
+    @cached_property
+    def topological_order(self) -> tuple[str, ...]:
+        """All gates (inputs first) in topological order; raises on cycles."""
+        indegree = {name: len(g.fanins) for name, g in self._gates.items()}
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        for name in ready:
+            if not self._gates[name].gate_type.is_input:
+                raise NetlistError(f"logic gate {name!r} has no fanins")
+        order: list[str] = []
+        fanouts = self.fanouts
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for sink in fanouts[name]:
+                indegree[sink] -= 1
+                if indegree[sink] == 0:
+                    ready.append(sink)
+        if len(order) != len(self._gates):
+            cyclic = sorted(name for name, deg in indegree.items() if deg > 0)
+            raise NetlistError(
+                f"circuit {self.name!r} contains a combinational cycle involving "
+                f"{cyclic[:8]}{'...' if len(cyclic) > 8 else ''}"
+            )
+        return tuple(order)
+
+    @cached_property
+    def levels(self) -> dict[str, int]:
+        """Unit-delay level (longest distance from any primary input).
+
+        Primary inputs are level 0; a gate's level is one more than the
+        maximum level of its fanins.  This is the time grid on which the
+        paper's transition-time sets and simultaneity counts live.
+        """
+        level: dict[str, int] = {}
+        for name in self.topological_order:
+            gate = self._gates[name]
+            if gate.gate_type.is_input:
+                level[name] = 0
+            else:
+                level[name] = 1 + max(level[f] for f in gate.fanins)
+        return level
+
+    @cached_property
+    def depth(self) -> int:
+        """Longest input-to-output path length in gate counts."""
+        return max(self.levels.values())
+
+    @cached_property
+    def undirected_adjacency(self) -> dict[str, tuple[str, ...]]:
+        """Neighbours in the undirected circuit graph (fanins plus fanouts).
+
+        This is the graph on which the paper's separation parameter
+        ``S(gi, gj)`` is measured (§3.3: "the undirected graph of the
+        logic circuit").
+        """
+        adjacency: dict[str, set[str]] = {name: set() for name in self._gates}
+        for gate in self._gates.values():
+            for fanin in gate.fanins:
+                adjacency[gate.name].add(fanin)
+                adjacency[fanin].add(gate.name)
+        return {name: tuple(sorted(nbrs)) for name, nbrs in adjacency.items()}
+
+    @cached_property
+    def gate_neighbors(self) -> tuple[tuple[int, ...], ...]:
+        """Adjacency among *logic gates* in dense-index space.
+
+        Neighbour sets contain fanin gates (primary inputs excluded) and
+        fanout gates.  This is the adjacency the partitioner uses for
+        boundary-gate detection and connected mutation moves (paper §4.2:
+        a boundary gate "is directly connected to a gate outside" its
+        module).
+        """
+        index = self.gate_index
+        neighbours: list[set[int]] = [set() for _ in index]
+        for name, g in index.items():
+            gate = self._gates[name]
+            for fanin in gate.fanins:
+                fanin_idx = index.get(fanin)
+                if fanin_idx is not None:
+                    neighbours[g].add(fanin_idx)
+                    neighbours[fanin_idx].add(g)
+        return tuple(tuple(sorted(n)) for n in neighbours)
+
+    @cached_property
+    def gate_index(self) -> dict[str, int]:
+        """Stable dense index over *logic* gates (inputs excluded).
+
+        Numpy-backed evaluators address per-gate arrays with this index.
+        """
+        return {name: i for i, name in enumerate(self.gate_names)}
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> CircuitStats:
+        type_counts: dict[str, int] = {}
+        max_fanin = 0
+        for name in self.gate_names:
+            gate = self._gates[name]
+            type_counts[gate.gate_type.value] = type_counts.get(gate.gate_type.value, 0) + 1
+            max_fanin = max(max_fanin, gate.arity)
+        max_fanout = max((len(f) for f in self.fanouts.values()), default=0)
+        return CircuitStats(
+            name=self.name,
+            num_gates=len(self.gate_names),
+            num_inputs=len(self.input_names),
+            num_outputs=len(self._outputs),
+            depth=self.depth,
+            max_fanin=max_fanin,
+            max_fanout=max_fanout,
+            type_counts=type_counts,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.name!r}, gates={len(self.gate_names)}, "
+            f"inputs={len(self.input_names)}, outputs={len(self._outputs)})"
+        )

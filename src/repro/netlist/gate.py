@@ -1,0 +1,148 @@
+"""Gate primitives: types, logic evaluation and the :class:`Gate` record.
+
+The gate model is deliberately simple — single-output combinational cells
+with an arbitrary number of inputs — because that is all the 1995 paper's
+partitioning problem needs.  Logic evaluation is provided both for single
+scalar values (used by unit tests and small examples) and, in
+:mod:`repro.faultsim.logic_sim`, in a bit-parallel form for the IDDQ fault
+simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["GateType", "Gate", "evaluate_gate", "GATE_ARITY"]
+
+
+class GateType(enum.Enum):
+    """Supported combinational cell types.
+
+    ``INPUT`` is a pseudo-gate marking a primary input; it has no fanins
+    and its value is driven by the test pattern.  ``BUF`` and ``NOT`` are
+    single-input; all others accept two or more inputs (the ISCAS85
+    benchmarks use fanins up to 9).
+    """
+
+    INPUT = "INPUT"
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+
+    @property
+    def is_input(self) -> bool:
+        return self is GateType.INPUT
+
+    @property
+    def is_inverting(self) -> bool:
+        """True for cells whose output is the complement of the base function."""
+        return self in _INVERTING
+
+    @property
+    def min_arity(self) -> int:
+        return GATE_ARITY[self][0]
+
+    @property
+    def max_arity(self) -> int | None:
+        """Maximum fanin count, or ``None`` when unbounded."""
+        return GATE_ARITY[self][1]
+
+
+_INVERTING = {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+
+#: Per-type (min_fanin, max_fanin) bounds.  ``None`` means unbounded.
+GATE_ARITY: dict[GateType, tuple[int, int | None]] = {
+    GateType.INPUT: (0, 0),
+    GateType.BUF: (1, 1),
+    GateType.NOT: (1, 1),
+    GateType.AND: (2, None),
+    GateType.NAND: (2, None),
+    GateType.OR: (2, None),
+    GateType.NOR: (2, None),
+    GateType.XOR: (2, None),
+    GateType.XNOR: (2, None),
+}
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate a single gate on scalar 0/1 inputs.
+
+    Raises :class:`ValueError` for arity violations, so that simulator bugs
+    surface loudly instead of producing silently wrong coverage numbers.
+    """
+    lo, hi = GATE_ARITY[gate_type]
+    if len(inputs) < lo or (hi is not None and len(inputs) > hi):
+        raise ValueError(
+            f"{gate_type.value} expects between {lo} and {hi if hi is not None else 'inf'}"
+            f" inputs, got {len(inputs)}"
+        )
+    if gate_type is GateType.INPUT:
+        raise ValueError("INPUT pseudo-gates are driven by the pattern, not evaluated")
+    if gate_type is GateType.BUF:
+        return inputs[0] & 1
+    if gate_type is GateType.NOT:
+        return 1 - (inputs[0] & 1)
+    if gate_type is GateType.AND:
+        return int(all(inputs))
+    if gate_type is GateType.NAND:
+        return 1 - int(all(inputs))
+    if gate_type is GateType.OR:
+        return int(any(inputs))
+    if gate_type is GateType.NOR:
+        return 1 - int(any(inputs))
+    parity = 0
+    for bit in inputs:
+        parity ^= bit & 1
+    if gate_type is GateType.XOR:
+        return parity
+    return 1 - parity  # XNOR
+
+
+@dataclass
+class Gate:
+    """A single gate instance in a circuit.
+
+    Attributes:
+        name: unique net/gate identifier (ISCAS ``.bench`` convention —
+            the gate and the net it drives share a name).
+        gate_type: the cell function.
+        fanins: names of driving gates, in input order.
+        cell: optional cell-library binding (e.g. ``"NAND2"``); when left
+            empty, :mod:`repro.library` binds by type and fanin count.
+    """
+
+    name: str
+    gate_type: GateType
+    fanins: tuple[str, ...] = field(default_factory=tuple)
+    cell: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("gate name must be non-empty")
+        lo, hi = GATE_ARITY[self.gate_type]
+        if len(self.fanins) < lo or (hi is not None and len(self.fanins) > hi):
+            raise ValueError(
+                f"gate {self.name!r}: {self.gate_type.value} expects between {lo} and "
+                f"{hi if hi is not None else 'inf'} fanins, got {len(self.fanins)}"
+            )
+        if len(set(self.fanins)) != len(self.fanins):
+            raise ValueError(f"gate {self.name!r} has duplicated fanins: {self.fanins}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.fanins)
+
+    def default_cell_name(self) -> str:
+        """The library cell name implied by type and arity (e.g. ``NAND3``)."""
+        if self.gate_type is GateType.INPUT:
+            return "INPUT"
+        if self.gate_type in (GateType.BUF, GateType.NOT):
+            return self.gate_type.value
+        return f"{self.gate_type.value}{self.arity}"

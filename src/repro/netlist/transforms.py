@@ -1,0 +1,174 @@
+"""Structural netlist transforms.
+
+Utilities a synthesis flow needs around the partitioner:
+
+* :func:`buffer_high_fanout` — insert buffer trees so no net drives more
+  than ``max_fanout`` sinks (heavy fanout concentrates switching current
+  at one driver and distorts the module current estimate);
+* :func:`sweep_buffers` — remove BUF gates (and collapse NOT-NOT pairs)
+  that other transforms or generators left behind;
+* :func:`extract_subcircuit` — cut out a gate group (e.g. one partition
+  module) as a standalone :class:`Circuit` whose primary inputs are the
+  group's cut nets, so a module can be analysed or re-simulated in
+  isolation.
+
+All transforms return new circuits; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import NetlistError
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import Gate, GateType
+
+__all__ = ["buffer_high_fanout", "sweep_buffers", "extract_subcircuit"]
+
+
+def buffer_high_fanout(circuit: Circuit, max_fanout: int = 8) -> Circuit:
+    """Insert buffers so every net drives at most ``max_fanout`` sinks.
+
+    Sinks counted are gate fanins plus a primary-output tap.  Buffers are
+    chained in groups: a net with 20 sinks and ``max_fanout=8`` keeps 7
+    direct sinks and feeds 2 buffers carrying the rest (recursively
+    legalised).  Output nets keep their names so the interface is
+    unchanged.
+    """
+    if max_fanout < 2:
+        raise NetlistError("max_fanout must be >= 2 (a buffer needs a sink too)")
+    builder = CircuitBuilder(circuit.name)
+    # Remap of (driver -> per-sink replacement name), filled lazily.
+    outputs = set(circuit.output_names)
+    replacements: dict[str, list[str]] = {}
+    counter = 0
+
+    for gate in circuit:
+        builder.add(gate)
+
+    def legalize(net: str) -> None:
+        nonlocal counter
+        sinks = list(circuit.fanouts[net])
+        taps = len(sinks) + (1 if net in outputs else 0)
+        if taps <= max_fanout:
+            return
+        # Keep (max_fanout - extra buffers) direct sinks; spill the rest.
+        per_sink: list[str] = []
+        remaining = sinks
+        source = net
+        while True:
+            taps_here = len(remaining) + (1 if source == net and net in outputs else 0)
+            if taps_here <= max_fanout:
+                per_sink.extend([source] * len(remaining))
+                break
+            keep = max_fanout - 1  # one slot feeds the relief buffer
+            if source == net and net in outputs:
+                keep -= 1
+            per_sink.extend([source] * keep)
+            remaining = remaining[keep:]
+            counter += 1
+            buffer_name = builder.fresh_name(f"{net}_fobuf{counter}")
+            builder.gate(buffer_name, GateType.BUF, [source])
+            source = buffer_name
+        replacements[net] = per_sink
+
+    for net in circuit.all_names:
+        legalize(net)
+
+    if not replacements:
+        return circuit
+
+    # Rewrite fanins of affected sinks.
+    consumed: dict[str, int] = {net: 0 for net in replacements}
+    gates = builder._gates
+    for name in list(gates):
+        gate = gates[name]
+        if gate.gate_type.is_input or not any(f in replacements for f in gate.fanins):
+            continue
+        new_fanins = []
+        for fanin in gate.fanins:
+            if fanin in replacements:
+                # Skip rewiring of the relief buffers themselves.
+                if name.startswith(f"{fanin}_fobuf"):
+                    new_fanins.append(fanin)
+                    continue
+                index = consumed[fanin]
+                consumed[fanin] += 1
+                new_fanins.append(replacements[fanin][index])
+            else:
+                new_fanins.append(fanin)
+        if tuple(new_fanins) != gate.fanins:
+            gates[name] = Gate(gate.name, gate.gate_type, tuple(new_fanins), cell=gate.cell)
+    builder.outputs(circuit.output_names)
+    return builder.build()
+
+
+def sweep_buffers(circuit: Circuit, keep_outputs: bool = True) -> Circuit:
+    """Remove BUF gates by rewiring their sinks to the buffer's driver.
+
+    Buffers that *are* primary outputs are kept when ``keep_outputs`` is
+    set (removing them would rename the interface).
+    """
+    outputs = set(circuit.output_names)
+    # Resolve each net to its non-buffer driver.
+    resolved: dict[str, str] = {}
+
+    def resolve(name: str) -> str:
+        if name in resolved:
+            return resolved[name]
+        gate = circuit.gate(name)
+        if gate.gate_type is GateType.BUF and not (keep_outputs and name in outputs):
+            result = resolve(gate.fanins[0])
+        else:
+            result = name
+        resolved[name] = result
+        return result
+
+    builder = CircuitBuilder(circuit.name)
+    for gate in circuit:
+        if (
+            gate.gate_type is GateType.BUF
+            and not (keep_outputs and gate.name in outputs)
+        ):
+            continue
+        new_fanins = tuple(resolve(f) for f in gate.fanins)
+        builder.add(Gate(gate.name, gate.gate_type, new_fanins, cell=gate.cell))
+    builder.outputs(circuit.output_names)
+    return builder.build()
+
+
+def extract_subcircuit(
+    circuit: Circuit, gates: Iterable[str], name: str | None = None
+) -> Circuit:
+    """Cut a gate group out as a standalone circuit.
+
+    Nets crossing into the group (fanins driven from outside) become
+    primary inputs; group gates driving outside sinks or primary outputs
+    become primary outputs of the extract.
+    """
+    group = set(gates)
+    unknown = group - set(circuit.gate_names)
+    if unknown:
+        raise NetlistError(f"not logic gates of {circuit.name!r}: {sorted(unknown)[:5]}")
+    if not group:
+        raise NetlistError("cannot extract an empty group")
+    builder = CircuitBuilder(name or f"{circuit.name}_sub")
+    declared_inputs: set[str] = set()
+    for gate_name in circuit.topological_order:
+        if gate_name not in group:
+            continue
+        gate = circuit.gate(gate_name)
+        for fanin in gate.fanins:
+            if fanin not in group and fanin not in declared_inputs:
+                builder.input(fanin)
+                declared_inputs.add(fanin)
+        builder.add(gate)
+    outputs_declared: list[str] = []
+    circuit_outputs = set(circuit.output_names)
+    for gate_name in group:
+        drives_outside = any(s not in group for s in circuit.fanouts[gate_name])
+        if drives_outside or gate_name in circuit_outputs or not circuit.fanouts[gate_name]:
+            outputs_declared.append(gate_name)
+    builder.outputs(sorted(outputs_declared))
+    return builder.build()

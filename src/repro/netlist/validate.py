@@ -1,0 +1,78 @@
+"""Structural lint checks for circuits.
+
+:class:`~repro.netlist.circuit.Circuit` enforces hard invariants at
+construction (defined fanins, acyclicity, named outputs).  The checks
+here report *soft* issues — dangling gates, unused inputs — that are
+legal but usually indicate a bad netlist or generator bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit
+
+__all__ = ["StructuralIssues", "check_circuit"]
+
+
+@dataclass
+class StructuralIssues:
+    """Collected soft issues; empty lists mean a clean circuit."""
+
+    dangling_gates: list[str] = field(default_factory=list)
+    unused_inputs: list[str] = field(default_factory=list)
+    constant_candidates: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.dangling_gates or self.unused_inputs or self.constant_candidates)
+
+    def summary(self) -> str:
+        if self.clean:
+            return "clean"
+        parts = []
+        if self.dangling_gates:
+            parts.append(f"{len(self.dangling_gates)} dangling gate(s)")
+        if self.unused_inputs:
+            parts.append(f"{len(self.unused_inputs)} unused input(s)")
+        if self.constant_candidates:
+            parts.append(f"{len(self.constant_candidates)} suspicious constant gate(s)")
+        return "; ".join(parts)
+
+
+def check_circuit(circuit: Circuit) -> StructuralIssues:
+    """Run all soft checks and return the collected issues."""
+    issues = StructuralIssues()
+    outputs = set(circuit.output_names)
+    for name in circuit.gate_names:
+        if not circuit.fanouts[name] and name not in outputs:
+            issues.dangling_gates.append(name)
+    for name in circuit.input_names:
+        if not circuit.fanouts[name] and name not in outputs:
+            issues.unused_inputs.append(name)
+    for name in circuit.gate_names:
+        gate = circuit.gate(name)
+        # A gate fed twice by the same source would be constant/degenerate;
+        # Gate construction forbids duplicates, so flag self-loops through
+        # a single buffer chain instead (x = BUF(x) is impossible — cycle —
+        # but XOR(a, a) style degeneracy can arrive via aliased buffers).
+        if gate.arity >= 2:
+            sources = {_root_through_buffers(circuit, f) for f in gate.fanins}
+            if len(sources) == 1:
+                issues.constant_candidates.append(name)
+    return issues
+
+
+def _root_through_buffers(circuit: Circuit, name: str) -> str:
+    """Follow BUF chains back to the driving non-buffer net."""
+    from repro.netlist.gate import GateType
+
+    seen = set()
+    while name not in seen:
+        seen.add(name)
+        gate = circuit.gate(name)
+        if gate.gate_type is GateType.BUF:
+            name = gate.fanins[0]
+        else:
+            break
+    return name

@@ -1,0 +1,41 @@
+"""Partitioning optimisers (paper §4-§5).
+
+* :mod:`~repro.optimize.evolution` — the paper's evolution strategy;
+* :mod:`~repro.optimize.start` — module-size pre-estimation and
+  chain-clustering start partitions (§4.2);
+* :mod:`~repro.optimize.standard` — the §5 "standard partitioning"
+  baseline the paper compares against;
+* :mod:`~repro.optimize.annealing`, :mod:`~repro.optimize.random_search`,
+  :mod:`~repro.optimize.greedy` — the alternative heuristic families the
+  paper names (§4: "force-driven, simulated annealing, Monte Carlo,
+  genetic, e.g."), used by the ablation benches.
+"""
+
+from repro.optimize.result import GenerationRecord, OptimizationResult
+from repro.optimize.start import chain_start_partition, estimate_module_count, start_population
+from repro.optimize.evolution import EvolutionOptimizer, evolve_partition
+from repro.optimize.standard import standard_partition
+from repro.optimize.annealing import AnnealingParams, anneal_partition
+from repro.optimize.random_search import random_search_partition
+from repro.optimize.greedy import greedy_refine
+from repro.optimize.force_directed import force_directed_partition
+from repro.optimize.kl import kl_refine
+from repro.optimize.portfolio import portfolio_partition
+
+__all__ = [
+    "GenerationRecord",
+    "OptimizationResult",
+    "chain_start_partition",
+    "estimate_module_count",
+    "start_population",
+    "EvolutionOptimizer",
+    "evolve_partition",
+    "standard_partition",
+    "AnnealingParams",
+    "anneal_partition",
+    "random_search_partition",
+    "greedy_refine",
+    "force_directed_partition",
+    "kl_refine",
+    "portfolio_partition",
+]

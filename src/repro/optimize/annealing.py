@@ -1,0 +1,128 @@
+"""Simulated-annealing baseline.
+
+The paper (§4) lists simulated annealing among the heuristic families
+applicable to PART-IDDQ before choosing the evolution strategy.  This
+implementation uses the same neighbourhood (move one boundary gate into
+a connected module) and the same penalised cost, so the ablation bench
+compares search strategies, not problem encodings.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import OptimizationError
+from repro.optimize.result import GenerationRecord, OptimizationResult
+from repro.optimize.start import chain_start_partition, estimate_module_count
+from repro.partition.evaluator import PartitionEvaluator
+from repro.partition.partition import Partition
+
+__all__ = ["AnnealingParams", "anneal_partition"]
+
+
+@dataclass(frozen=True)
+class AnnealingParams:
+    """Geometric-cooling schedule parameters."""
+
+    initial_temperature: float = 50.0
+    cooling: float = 0.95
+    steps_per_temperature: int = 40
+    min_temperature: float = 1e-3
+    penalty: float = 1.0e4
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cooling < 1:
+            raise OptimizationError("cooling factor must be in (0, 1)")
+        if self.initial_temperature <= self.min_temperature:
+            raise OptimizationError("initial temperature must exceed the minimum")
+        if self.steps_per_temperature < 1:
+            raise OptimizationError("steps_per_temperature must be >= 1")
+
+
+def anneal_partition(
+    evaluator: PartitionEvaluator,
+    params: AnnealingParams | None = None,
+    seed: int | None = None,
+    start: Partition | None = None,
+) -> OptimizationResult:
+    """Simulated annealing over boundary-gate moves."""
+    params = params or AnnealingParams()
+    rng = random.Random(seed)
+    if start is None:
+        k = estimate_module_count(evaluator)
+        start = chain_start_partition(evaluator, k, rng)
+
+    state = evaluator.new_state(start)
+    cost = state.penalized_cost(params.penalty)
+    best_state = state.copy()
+    best_cost = cost
+    history: list[GenerationRecord] = []
+    evaluations = 1
+
+    temperature = params.initial_temperature
+    sweep = 0
+    while temperature > params.min_temperature:
+        sweep += 1
+        accepted = 0
+        for _ in range(params.steps_per_temperature):
+            move = _propose_move(state, rng)
+            if move is None:
+                continue
+            gate, target, source = move
+            state.move_gate(gate, target)
+            new_cost = state.penalized_cost(params.penalty)
+            evaluations += 1
+            delta = new_cost - cost
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                cost = new_cost
+                accepted += 1
+                if cost < best_cost:
+                    best_cost = cost
+                    best_state = state.copy()
+            else:
+                # Undo.  The source module may have been deleted by the
+                # move; recreate it through a split in that (rare) case.
+                if source in state.partition.module_ids:
+                    state.move_gate(gate, source)
+                else:
+                    state.split_new_module([gate])
+                cost = state.penalized_cost(params.penalty)
+        history.append(
+            GenerationRecord(
+                generation=sweep,
+                best_cost=best_cost,
+                best_feasible=best_state.constraint_report().feasible,
+                mean_cost=cost,
+                num_modules=best_state.partition.num_modules,
+                evaluations=evaluations,
+            )
+        )
+        temperature *= params.cooling
+
+    return OptimizationResult(
+        best=evaluator.evaluation_of(best_state),
+        history=history,
+        generations_run=sweep,
+        evaluations=evaluations,
+        converged=True,
+        seed=seed,
+        optimizer="annealing",
+    )
+
+
+def _propose_move(state, rng: random.Random):
+    """A random boundary-gate move: (gate, target, source) or None."""
+    partition = state.partition
+    if partition.num_modules < 2:
+        return None
+    module = rng.choice(partition.module_ids)
+    boundary = partition.boundary_gates(module)
+    if not boundary:
+        return None
+    gate = rng.choice(boundary)
+    targets = partition.neighbor_modules(gate)
+    if not targets:
+        return None
+    return gate, rng.choice(targets), module

@@ -1,0 +1,197 @@
+"""The paper's evolution strategy for PART-IDDQ (paper §4).
+
+One cycle = recombination (duplication of a single parent), mutation,
+selection:
+
+* each of the μ parents is copied λ times; each copy has between 1 and
+  ``min(m, #boundary gates)`` randomly chosen boundary gates of a random
+  module moved into a module they are connected with;
+* additionally χ *Monte-Carlo* children per parent move a random number
+  of random gates of a random module into a random (not necessarily
+  connected) module — the high-variance descendants that "reduce the
+  probability of being caught in a local minimum"; a fully emptied
+  module is deleted;
+* every descendant's step width ``m`` is redrawn from a normal
+  distribution around its parent's (standard deviation ε);
+* selection keeps the best μ of {parents younger than the maximum
+  lifetime κ} ∪ {descendants}.
+
+Costs are maintained incrementally: children copy their parent's
+:class:`~repro.partition.state.EvaluationState` and only the touched
+modules are re-evaluated (§4.2: "costs are recomputed just for the
+modified modules ... the partitions generated this way can be evaluated
+very efficiently").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.config import EvolutionParams
+from repro.errors import OptimizationError
+from repro.optimize.result import GenerationRecord, OptimizationResult
+from repro.optimize.start import estimate_module_count, start_population
+from repro.partition.evaluator import PartitionEvaluator
+from repro.partition.partition import Partition
+from repro.partition.state import EvaluationState
+
+__all__ = ["EvolutionOptimizer", "evolve_partition"]
+
+
+@dataclass
+class _Individual:
+    """One population member: a live evaluation state plus ES bookkeeping."""
+
+    state: EvaluationState
+    cost: float
+    step: float
+    age: int = 0
+
+
+class EvolutionOptimizer:
+    """Reusable ES driver bound to one evaluator.
+
+    Use :func:`evolve_partition` for the one-call version.
+    """
+
+    def __init__(
+        self,
+        evaluator: PartitionEvaluator,
+        params: EvolutionParams | None = None,
+        seed: int | None = None,
+    ):
+        self.evaluator = evaluator
+        self.params = params or EvolutionParams()
+        self.rng = random.Random(seed)
+        self.seed = seed
+
+    # ----------------------------------------------------------------- driver
+    def run(self, starts: list[Partition] | None = None) -> OptimizationResult:
+        params = self.params
+        rng = self.rng
+        if starts is None:
+            k = estimate_module_count(self.evaluator)
+            starts = start_population(self.evaluator, k, params.mu, rng)
+        if not starts:
+            raise OptimizationError("evolution needs at least one start partition")
+
+        evaluations = 0
+        parents: list[_Individual] = []
+        for partition in starts:
+            state = self.evaluator.new_state(partition)
+            cost = state.penalized_cost(params.penalty)
+            evaluations += 1
+            parents.append(_Individual(state, cost, step=float(params.max_moved_gates)))
+
+        best = min(parents, key=lambda ind: ind.cost)
+        best_snapshot = best.state.copy()
+        best_cost = best.cost
+        history: list[GenerationRecord] = []
+        stale = 0
+        generation = 0
+        converged = False
+
+        for generation in range(1, params.generations + 1):
+            children: list[_Individual] = []
+            for parent in parents:
+                for _ in range(params.children_per_parent):
+                    children.append(self._mutated_child(parent))
+                for _ in range(params.monte_carlo_per_parent):
+                    children.append(self._monte_carlo_child(parent))
+            evaluations += len(children)
+
+            for parent in parents:
+                parent.age += 1
+            pool = [p for p in parents if p.age < params.max_lifetime] + children
+            if not pool:
+                pool = children or parents
+            pool.sort(key=lambda ind: ind.cost)
+            parents = pool[: params.mu]
+
+            generation_best = parents[0]
+            if generation_best.cost < best_cost - 1e-12:
+                best_cost = generation_best.cost
+                best_snapshot = generation_best.state.copy()
+                stale = 0
+            else:
+                stale += 1
+            mean_cost = sum(ind.cost for ind in parents) / len(parents)
+            history.append(
+                GenerationRecord(
+                    generation=generation,
+                    best_cost=best_cost,
+                    best_feasible=best_snapshot.constraint_report().feasible,
+                    mean_cost=mean_cost,
+                    num_modules=best_snapshot.partition.num_modules,
+                    evaluations=evaluations,
+                )
+            )
+            if stale >= params.convergence_window:
+                converged = True
+                break
+
+        evaluation = self.evaluator.evaluation_of(best_snapshot)
+        return OptimizationResult(
+            best=evaluation,
+            history=history,
+            generations_run=generation,
+            evaluations=evaluations,
+            converged=converged,
+            seed=self.seed,
+            optimizer="evolution",
+        )
+
+    # -------------------------------------------------------------- operators
+    def _child_step(self, parent_step: float) -> float:
+        """Normal perturbation of the step width (paper: "The new m is
+        subject to normal distribution with variance ε around the m of
+        the step before")."""
+        return max(1.0, self.rng.gauss(parent_step, self.params.step_std))
+
+    def _mutated_child(self, parent: _Individual) -> _Individual:
+        rng = self.rng
+        state = parent.state.copy()
+        partition = state.partition
+        step = self._child_step(parent.step)
+        if partition.num_modules >= 2:
+            module = rng.choice(partition.module_ids)
+            boundary = partition.boundary_gates(module)
+            if boundary:
+                limit = min(int(step), len(boundary))
+                count = rng.randint(1, max(1, limit))
+                moved = rng.sample(boundary, count)
+                for gate in moved:
+                    if partition.module_of(gate) != module:
+                        continue  # an earlier move dissolved the module
+                    targets = partition.neighbor_modules(gate)
+                    if targets:
+                        state.move_gate(gate, rng.choice(targets))
+        cost = state.penalized_cost(self.params.penalty)
+        return _Individual(state, cost, step=step)
+
+    def _monte_carlo_child(self, parent: _Individual) -> _Individual:
+        rng = self.rng
+        state = parent.state.copy()
+        partition = state.partition
+        step = self._child_step(parent.step)
+        if partition.num_modules >= 2:
+            source = rng.choice(partition.module_ids)
+            targets = [m for m in partition.module_ids if m != source]
+            target = rng.choice(targets)
+            gates = list(partition.gates_of(source))
+            count = rng.randint(1, len(gates))
+            for gate in rng.sample(gates, count):
+                state.move_gate(gate, target)
+        cost = state.penalized_cost(self.params.penalty)
+        return _Individual(state, cost, step=step)
+
+
+def evolve_partition(
+    evaluator: PartitionEvaluator,
+    params: EvolutionParams | None = None,
+    seed: int | None = None,
+    starts: list[Partition] | None = None,
+) -> OptimizationResult:
+    """Run the paper's evolution strategy once and return the result."""
+    return EvolutionOptimizer(evaluator, params=params, seed=seed).run(starts)

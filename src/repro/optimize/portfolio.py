@@ -1,0 +1,65 @@
+"""Optimiser portfolio: run several strategies, keep the best.
+
+PART-IDDQ is NP-hard (§2) and every heuristic here has failure modes;
+a small portfolio — the paper's evolution strategy plus a KL polish and
+an annealing fallback — is the pragmatic production answer and a useful
+upper-bound reference in the ablation benches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import EvolutionParams
+from repro.errors import OptimizationError
+from repro.optimize.annealing import AnnealingParams, anneal_partition
+from repro.optimize.evolution import evolve_partition
+from repro.optimize.kl import kl_refine
+from repro.optimize.result import OptimizationResult
+from repro.optimize.start import chain_start_partition, estimate_module_count
+from repro.partition.evaluator import PartitionEvaluator
+
+__all__ = ["portfolio_partition"]
+
+
+def portfolio_partition(
+    evaluator: PartitionEvaluator,
+    evolution_params: EvolutionParams | None = None,
+    annealing_params: AnnealingParams | None = None,
+    seed: int | None = None,
+    kl_passes: int = 2,
+) -> OptimizationResult:
+    """Evolution + KL polish, with an annealing run as insurance.
+
+    Returns the best feasible result; raises when *no* strategy found a
+    feasible partition (a strong sign the constraints are unsatisfiable).
+    """
+    rng = random.Random(seed)
+    runs: list[OptimizationResult] = []
+
+    evolution = evolve_partition(evaluator, evolution_params, seed=seed)
+    runs.append(evolution)
+    if evolution.feasible and kl_passes > 0:
+        polished = kl_refine(
+            evaluator,
+            evolution.best.partition,
+            max_passes=kl_passes,
+            seed=seed,
+        )
+        polished.optimizer = "evolution+kl"
+        runs.append(polished)
+
+    start = chain_start_partition(evaluator, estimate_module_count(evaluator), rng)
+    runs.append(
+        anneal_partition(evaluator, annealing_params, seed=seed, start=start)
+    )
+
+    feasible = [run for run in runs if run.feasible]
+    if not feasible:
+        raise OptimizationError(
+            "portfolio found no feasible partition "
+            f"(best violation {min(r.best.violation for r in runs):.3g})"
+        )
+    best = min(feasible, key=lambda run: run.best_cost)
+    best.evaluations = sum(run.evaluations for run in runs)
+    return best

@@ -1,0 +1,56 @@
+"""Result objects shared by all optimisers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.partition.evaluator import PartitionEvaluation
+
+__all__ = ["GenerationRecord", "OptimizationResult"]
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """One generation's (or sweep's) telemetry."""
+
+    generation: int
+    best_cost: float
+    best_feasible: bool
+    mean_cost: float
+    num_modules: int
+    evaluations: int
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimiser run.
+
+    ``best`` is the best *penalty-free* evaluation when a feasible
+    partition was found; otherwise the least-violating one with
+    ``best.feasible == False`` (callers decide whether to raise).
+    """
+
+    best: PartitionEvaluation
+    history: list[GenerationRecord] = field(default_factory=list)
+    generations_run: int = 0
+    evaluations: int = 0
+    converged: bool = False
+    seed: int | None = None
+    optimizer: str = ""
+
+    @property
+    def best_cost(self) -> float:
+        return self.best.cost
+
+    @property
+    def feasible(self) -> bool:
+        return self.best.feasible
+
+    def summary(self) -> str:
+        status = "feasible" if self.feasible else "INFEASIBLE"
+        return (
+            f"{self.optimizer or 'optimizer'}: cost={self.best_cost:.4f} ({status}), "
+            f"K={self.best.num_modules}, sensor area={self.best.sensor_area_total:.4g}, "
+            f"generations={self.generations_run}, evaluations={self.evaluations}"
+            f"{', converged' if self.converged else ''}"
+        )

@@ -1,0 +1,80 @@
+"""The feasibility predicate ``Γ(Π)`` (paper §2) plus violation measure.
+
+A partition is feasible when every module satisfies
+
+* **discriminability**: ``d(Mi) = IDDQ,th / IDDQ,nd,i >= d`` — the
+  worst fault-free module current must sit at least a factor ``d``
+  below the detection threshold;
+* **virtual-rail perturbation**: the bypass switch sized as
+  ``Rs = r / îDD,max`` must be manufacturable (``Rs >= min_rs``); a
+  module whose transient current is too large for any buildable switch
+  cannot keep the rail excursion within ``r``.
+
+Besides the boolean ``Γ``, a smooth *violation* magnitude is reported so
+the evolution strategy can traverse infeasible intermediate partitions
+under a penalty without ever converging on one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.library.technology import Technology
+
+__all__ = ["ConstraintReport", "check_constraints"]
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Outcome of ``Γ`` on one partition."""
+
+    feasible: bool
+    violation: float
+    discriminability: Mapping[int, float]
+    rail_ok: Mapping[int, bool]
+
+    @property
+    def gamma(self) -> int:
+        """The paper's ``Γ: P -> {0, 1}``."""
+        return int(self.feasible)
+
+    def worst_discriminability(self) -> float:
+        return min(self.discriminability.values()) if self.discriminability else float("inf")
+
+
+def check_constraints(
+    technology: Technology,
+    module_leakage_na: Mapping[int, float],
+    module_max_current_ma: Mapping[int, float],
+) -> ConstraintReport:
+    """Evaluate ``Γ`` from per-module leakage and transient current."""
+    threshold_na = technology.iddq_threshold_ua * 1e3
+    required = technology.discriminability
+    discriminability: dict[int, float] = {}
+    rail_ok: dict[int, bool] = {}
+    violation = 0.0
+    feasible = True
+    for module, leak_na in module_leakage_na.items():
+        d_i = threshold_na / leak_na if leak_na > 0 else float("inf")
+        discriminability[module] = d_i
+        if d_i < required:
+            feasible = False
+            # Relative leakage excess over the allowed budget.
+            violation += leak_na / technology.max_module_leakage_na - 1.0
+    for module, current_ma in module_max_current_ma.items():
+        if current_ma <= 0:
+            rail_ok[module] = True
+            continue
+        rs_required = technology.rail_limit_v / (current_ma * 1e-3)
+        ok = rs_required >= technology.min_rs_ohm
+        rail_ok[module] = ok
+        if not ok:
+            feasible = False
+            violation += technology.min_rs_ohm / rs_required - 1.0
+    return ConstraintReport(
+        feasible=feasible,
+        violation=violation,
+        discriminability=discriminability,
+        rail_ok=rail_ok,
+    )

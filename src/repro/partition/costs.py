@@ -1,0 +1,75 @@
+"""Cost terms ``c1..c5`` and the weighted global cost (paper §3, §5).
+
+The five metrics:
+
+* ``c1 = log(Σ_i A_i)`` — BIC sensor area, ``A_i = A0 + A1/Rs,i``;
+* ``c2 = (D_BIC − D) / D`` — relative critical-path slowdown;
+* ``c3 = log(S(Π))`` — intra-module interconnect separation;
+* ``c4`` — relative test-application-time overhead per vector
+  (degraded propagation plus the slowest sensor's settle+sense ``Δ(τ)``);
+* ``c5 = K`` — module count (test clock/output routing among sensors).
+
+The logs on ``c1``/``c3`` are the paper's own normalisation: "all
+components of the objective function should have similar range and
+variation for optimization reasons".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import CostWeights
+
+__all__ = ["CostBreakdown", "log_guarded"]
+
+
+def log_guarded(value: float) -> float:
+    """``log(value)`` guarded for the degenerate all-singleton /
+    zero-separation cases: ``log(1 + value)`` keeps the metric finite and
+    monotone without changing the ordering anywhere it matters."""
+    return math.log1p(max(value, 0.0))
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """All cost terms of one partition, raw and weighted."""
+
+    c1_area: float
+    c2_delay: float
+    c3_separation: float
+    c4_test_time: float
+    c5_modules: float
+    weights: CostWeights
+
+    @property
+    def total(self) -> float:
+        """The paper's global cost ``C(Π) = Σ αi·ci``."""
+        w = self.weights
+        return (
+            w.area * self.c1_area
+            + w.delay * self.c2_delay
+            + w.separation * self.c3_separation
+            + w.test_time * self.c4_test_time
+            + w.modules * self.c5_modules
+        )
+
+    def terms(self) -> dict[str, float]:
+        """Raw terms keyed by their paper name (for reports)."""
+        return {
+            "c1(area)": self.c1_area,
+            "c2(delay)": self.c2_delay,
+            "c3(separation)": self.c3_separation,
+            "c4(test time)": self.c4_test_time,
+            "c5(modules)": self.c5_modules,
+        }
+
+    def weighted_terms(self) -> dict[str, float]:
+        w = self.weights
+        return {
+            "a1*c1": w.area * self.c1_area,
+            "a2*c2": w.delay * self.c2_delay,
+            "a3*c3": w.separation * self.c3_separation,
+            "a4*c4": w.test_time * self.c4_test_time,
+            "a5*c5": w.modules * self.c5_modules,
+        }

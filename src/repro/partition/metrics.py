@@ -1,0 +1,99 @@
+"""Partition quality metrics beyond the paper's cost function.
+
+These are diagnostic quantities used by reports, tests and the
+optimiser-comparison ablation: they explain *why* one partition costs
+less than another (better balance? fewer cut edges? connected modules?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.circuit import Circuit
+from repro.partition.partition import Partition
+
+__all__ = ["PartitionMetrics", "compute_metrics", "cut_edges", "module_components"]
+
+
+@dataclass(frozen=True)
+class PartitionMetrics:
+    """Structural summary of one partition."""
+
+    num_modules: int
+    num_gates: int
+    min_module_size: int
+    max_module_size: int
+    balance: float
+    cut_edges: int
+    total_edges: int
+    cut_fraction: float
+    disconnected_modules: int
+
+    def summary(self) -> str:
+        return (
+            f"K={self.num_modules}, sizes {self.min_module_size}-{self.max_module_size} "
+            f"(balance {self.balance:.2f}), cut {self.cut_edges}/{self.total_edges} edges "
+            f"({100 * self.cut_fraction:.1f}%), "
+            f"{self.disconnected_modules} disconnected module(s)"
+        )
+
+
+def cut_edges(partition: Partition) -> tuple[int, int]:
+    """(edges crossing modules, total gate-to-gate edges)."""
+    circuit = partition.circuit
+    neighbours = circuit.gate_neighbors
+    cut = 0
+    total = 0
+    for gate, adjacent in enumerate(neighbours):
+        own = partition.module_of(gate)
+        for nbr in adjacent:
+            if nbr <= gate:
+                continue  # count each undirected edge once
+            total += 1
+            if partition.module_of(nbr) != own:
+                cut += 1
+    return cut, total
+
+
+def module_components(partition: Partition, module: int) -> int:
+    """Connected components of a module's induced gate subgraph.
+
+    1 means the module is connected (through gate-to-gate edges); the
+    chain/standard constructions aim for 1, random partitions scatter.
+    """
+    gates = set(partition.gates_of(module))
+    neighbours = partition.circuit.gate_neighbors
+    unseen = set(gates)
+    components = 0
+    while unseen:
+        components += 1
+        frontier = [unseen.pop()]
+        while frontier:
+            gate = frontier.pop()
+            for nbr in neighbours[gate]:
+                if nbr in unseen:
+                    unseen.discard(nbr)
+                    frontier.append(nbr)
+    return components
+
+
+def compute_metrics(partition: Partition) -> PartitionMetrics:
+    """All structural metrics for one partition."""
+    sizes = [partition.module_size(m) for m in partition.module_ids]
+    cut, total = cut_edges(partition)
+    disconnected = sum(
+        1 for m in partition.module_ids if module_components(partition, m) > 1
+    )
+    n = len(partition.circuit.gate_names)
+    average = n / len(sizes)
+    return PartitionMetrics(
+        num_modules=len(sizes),
+        num_gates=n,
+        min_module_size=min(sizes),
+        max_module_size=max(sizes),
+        balance=max(sizes) / average,
+        cut_edges=cut,
+        total_edges=total,
+        cut_fraction=cut / total if total else 0.0,
+        disconnected_modules=disconnected,
+    )

@@ -1,0 +1,222 @@
+"""The :class:`Partition` data structure (paper §2).
+
+A partition ``Π = {M1, ..., MK}`` is a collection of disjoint, non-empty
+gate groups covering all logic gates; "each gate is completely included
+in one group, hence no transistor group is split among groups".  Primary
+inputs belong to no module (pads draw no quiescent current).
+
+Gates are handled as dense indices (:attr:`Circuit.gate_index`) so the
+hot operations — move a gate, query a module, find boundary gates — are
+integer/set work, and the numpy-based evaluators can index per-gate
+arrays directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import PartitionError
+from repro.netlist.circuit import Circuit
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """Mutable disjoint cover of a circuit's logic gates by modules.
+
+    Module ids are small ints, unique within one partition's lifetime
+    (ids of deleted modules are never reused, so optimiser bookkeeping
+    can key on them safely).
+    """
+
+    def __init__(self, circuit: Circuit, assignment: Mapping[int, int]):
+        """``assignment`` maps dense gate index -> module id and must
+        cover every logic gate."""
+        self.circuit = circuit
+        n = len(circuit.gate_names)
+        if set(assignment.keys()) != set(range(n)):
+            missing = sorted(set(range(n)) - set(assignment.keys()))[:5]
+            extra = sorted(set(assignment.keys()) - set(range(n)))[:5]
+            raise PartitionError(
+                f"assignment must cover exactly the {n} logic gates; "
+                f"missing={missing} extra={extra}"
+            )
+        self._module_of: list[int] = [0] * n
+        self._modules: dict[int, set[int]] = {}
+        for gate, module in assignment.items():
+            self._module_of[gate] = module
+            self._modules.setdefault(module, set()).add(gate)
+        self._next_id = max(self._modules) + 1
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def single_module(cls, circuit: Circuit) -> "Partition":
+        """All gates in one module — the trivial (sensorised-whole-chip)
+        partition."""
+        n = len(circuit.gate_names)
+        return cls(circuit, {g: 0 for g in range(n)})
+
+    @classmethod
+    def from_groups(cls, circuit: Circuit, groups: Iterable[Iterable[str]]) -> "Partition":
+        """Build from groups of gate *names*; groups must cover exactly."""
+        index = circuit.gate_index
+        assignment: dict[int, int] = {}
+        for module, names in enumerate(groups):
+            for name in names:
+                if name not in index:
+                    raise PartitionError(f"unknown logic gate {name!r}")
+                gate = index[name]
+                if gate in assignment:
+                    raise PartitionError(f"gate {name!r} appears in two groups")
+                assignment[gate] = module
+        return cls(circuit, assignment)
+
+    def copy(self) -> "Partition":
+        clone = object.__new__(Partition)
+        clone.circuit = self.circuit
+        clone._module_of = list(self._module_of)
+        clone._modules = {mid: set(gates) for mid, gates in self._modules.items()}
+        clone._next_id = self._next_id
+        return clone
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def num_modules(self) -> int:
+        return len(self._modules)
+
+    @property
+    def module_ids(self) -> tuple[int, ...]:
+        return tuple(self._modules)
+
+    def module_of(self, gate: int) -> int:
+        return self._module_of[gate]
+
+    def module_of_name(self, name: str) -> int:
+        return self._module_of[self.circuit.gate_index[name]]
+
+    def gates_of(self, module: int) -> frozenset[int]:
+        try:
+            return frozenset(self._modules[module])
+        except KeyError:
+            raise PartitionError(f"no module {module}") from None
+
+    def module_size(self, module: int) -> int:
+        try:
+            return len(self._modules[module])
+        except KeyError:
+            raise PartitionError(f"no module {module}") from None
+
+    def boundary_gates(self, module: int) -> list[int]:
+        """Gates of ``module`` directly connected to a gate outside it."""
+        gates = self._modules.get(module)
+        if gates is None:
+            raise PartitionError(f"no module {module}")
+        neighbours = self.circuit.gate_neighbors
+        module_of = self._module_of
+        return [
+            g
+            for g in gates
+            if any(module_of[nbr] != module for nbr in neighbours[g])
+        ]
+
+    def neighbor_modules(self, gate: int) -> tuple[int, ...]:
+        """Distinct modules (other than the gate's own) adjacent to ``gate``."""
+        own = self._module_of[gate]
+        seen: set[int] = set()
+        for nbr in self.circuit.gate_neighbors[gate]:
+            module = self._module_of[nbr]
+            if module != own:
+                seen.add(module)
+        return tuple(sorted(seen))
+
+    def as_name_groups(self) -> tuple[frozenset[str], ...]:
+        """Module contents as frozensets of gate names, for reports/tests.
+
+        Order: by module id.
+        """
+        names = self.circuit.gate_names
+        return tuple(
+            frozenset(names[g] for g in gates)
+            for _, gates in sorted(self._modules.items())
+        )
+
+    def canonical(self) -> frozenset[frozenset[int]]:
+        """Order-independent identity (module ids erased)."""
+        return frozenset(frozenset(gates) for gates in self._modules.values())
+
+    # ------------------------------------------------------------------ moves
+    def move_gate(self, gate: int, target_module: int) -> int:
+        """Move one gate to ``target_module``; returns the source module.
+
+        If the source module becomes empty it is deleted (paper §4.2:
+        "If all gates of M are moved, this module is deleted").
+        """
+        if target_module not in self._modules:
+            raise PartitionError(f"no module {target_module}")
+        source = self._module_of[gate]
+        if source == target_module:
+            raise PartitionError(
+                f"gate {gate} is already in module {target_module}"
+            )
+        self._modules[source].discard(gate)
+        self._modules[target_module].add(gate)
+        self._module_of[gate] = target_module
+        if not self._modules[source]:
+            del self._modules[source]
+        return source
+
+    def split_new_module(self, gates: Iterable[int]) -> int:
+        """Move ``gates`` into a brand-new module; returns its id."""
+        gates = list(gates)
+        if not gates:
+            raise PartitionError("cannot create an empty module")
+        new_id = self._next_id
+        self._next_id += 1
+        self._modules[new_id] = set()
+        for gate in gates:
+            source = self._module_of[gate]
+            self._modules[source].discard(gate)
+            self._module_of[gate] = new_id
+            self._modules[new_id].add(gate)
+            if not self._modules[source]:
+                del self._modules[source]
+        return new_id
+
+    def merge_modules(self, keep: int, absorb: int) -> None:
+        """Merge module ``absorb`` into ``keep``."""
+        if keep == absorb:
+            raise PartitionError("cannot merge a module with itself")
+        gates = self._modules.get(absorb)
+        if gates is None or keep not in self._modules:
+            raise PartitionError(f"unknown module in merge({keep}, {absorb})")
+        for gate in gates:
+            self._module_of[gate] = keep
+        self._modules[keep].update(gates)
+        del self._modules[absorb]
+
+    # ------------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Verify cover/disjointness/non-emptiness; raises on violation.
+
+        Used by tests and by the optimiser's debug mode.
+        """
+        seen: set[int] = set()
+        for module, gates in self._modules.items():
+            if not gates:
+                raise PartitionError(f"module {module} is empty")
+            for gate in gates:
+                if gate in seen:
+                    raise PartitionError(f"gate {gate} in two modules")
+                if self._module_of[gate] != module:
+                    raise PartitionError(
+                        f"gate {gate}: map says {self._module_of[gate]}, set says {module}"
+                    )
+                seen.add(gate)
+        if len(seen) != len(self.circuit.gate_names):
+            raise PartitionError(
+                f"partition covers {len(seen)} of {len(self.circuit.gate_names)} gates"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = sorted((len(g) for g in self._modules.values()), reverse=True)
+        return f"Partition(modules={len(self._modules)}, sizes={sizes[:8]})"

@@ -1,0 +1,286 @@
+"""Incrementally maintained evaluation state (paper §4.2).
+
+The evolution strategy evaluates thousands of candidate partitions, each
+differing from its parent by a handful of gate moves.  The paper makes
+this affordable by recomputing "costs ... just for the modified modules".
+:class:`EvaluationState` implements that: it owns a partition plus, per
+module, the cached quantities every cost term and constraint needs —
+
+* the time-indexed worst-case current and activity profiles,
+* the leakage sum, the rail-capacitance sum, the separation sum,
+
+and per gate the degraded delay.  A gate move touches exactly two
+modules; their caches update in O(module size + depth), after which the
+full cost reads off the caches (plus one vectorised longest-path pass
+for the global delay).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partition.constraints import ConstraintReport, check_constraints
+from repro.partition.costs import CostBreakdown, log_guarded
+from repro.partition.partition import Partition
+from repro.sensors.bic import BICSensor, size_sensor
+from repro.sensors.sensing import settle_time_ns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.partition.evaluator import PartitionEvaluator
+
+__all__ = ["ModuleStats", "EvaluationState"]
+
+
+class ModuleStats:
+    """Cached per-module quantities (mutable, copied with the state)."""
+
+    __slots__ = ("current_profile", "activity_profile", "leak_na", "sep_sum", "rail_cap_ff")
+
+    def __init__(
+        self,
+        current_profile: np.ndarray,
+        activity_profile: np.ndarray,
+        leak_na: float,
+        sep_sum: float,
+        rail_cap_ff: float,
+    ):
+        self.current_profile = current_profile
+        self.activity_profile = activity_profile
+        self.leak_na = leak_na
+        self.sep_sum = sep_sum
+        self.rail_cap_ff = rail_cap_ff
+
+    def copy(self) -> "ModuleStats":
+        return ModuleStats(
+            self.current_profile.copy(),
+            self.activity_profile.copy(),
+            self.leak_na,
+            self.sep_sum,
+            self.rail_cap_ff,
+        )
+
+    @property
+    def max_current_ma(self) -> float:
+        return float(self.current_profile.max())
+
+
+class EvaluationState:
+    """A partition plus all incrementally maintained evaluation caches."""
+
+    def __init__(self, ctx: "PartitionEvaluator", partition: Partition):
+        self.ctx = ctx
+        self.partition = partition.copy()
+        self.stats: dict[int, ModuleStats] = {}
+        self.delay_degraded = ctx.electricals.delay_ns.copy()
+        self._sensors: dict[int, BICSensor] = {}
+        self._dirty: set[int] = set()
+        for module in self.partition.module_ids:
+            self.stats[module] = self._build_module_stats(module)
+            self._dirty.add(module)
+
+    # ------------------------------------------------------------ construction
+    def _build_module_stats(self, module: int) -> ModuleStats:
+        ctx = self.ctx
+        gates = self._gates_array(module)
+        current = ctx.times.profile(gates, ctx.electricals.peak_current_ma)
+        activity = ctx.times.profile(gates, ctx.ones)
+        leak = float(ctx.electricals.leakage_na[gates].sum())
+        rail = float(ctx.electricals.rail_cap_ff[gates].sum())
+        sep = ctx.separation.module_sum(gates)
+        return ModuleStats(current, activity, leak, sep, rail)
+
+    def _gates_array(self, module: int) -> np.ndarray:
+        gates = self.partition.gates_of(module)
+        return np.fromiter(gates, dtype=np.int64, count=len(gates))
+
+    def copy(self) -> "EvaluationState":
+        clone = object.__new__(EvaluationState)
+        clone.ctx = self.ctx
+        clone.partition = self.partition.copy()
+        clone.stats = {module: stats.copy() for module, stats in self.stats.items()}
+        clone.delay_degraded = self.delay_degraded.copy()
+        clone._sensors = dict(self._sensors)
+        clone._dirty = set(self._dirty)
+        return clone
+
+    # ------------------------------------------------------------------ moves
+    def move_gate(self, gate: int, target_module: int) -> int:
+        """Move a gate, updating both touched modules' caches; returns the
+        source module id."""
+        ctx = self.ctx
+        partition = self.partition
+        source = partition.module_of(gate)
+        if source == target_module:
+            raise PartitionError(f"gate {gate} already in module {target_module}")
+        src_stats = self.stats[source]
+        tgt_stats = self.stats.get(target_module)
+        if tgt_stats is None:
+            raise PartitionError(f"no module {target_module}")
+
+        # Separation deltas need the memberships *around* the move: the
+        # source before removal (self-distance is 0 so including the gate
+        # is harmless) and the target before insertion.
+        src_members = self._gates_array(source)
+        tgt_members = self._gates_array(target_module)
+        src_stats.sep_sum -= ctx.separation.sum_to_group(gate, src_members)
+        tgt_stats.sep_sum += ctx.separation.sum_to_group(gate, tgt_members)
+
+        times = ctx.times.times[gate]
+        peak = ctx.electricals.peak_current_ma[gate]
+        src_stats.current_profile[times] -= peak
+        tgt_stats.current_profile[times] += peak
+        src_stats.activity_profile[times] -= 1.0
+        tgt_stats.activity_profile[times] += 1.0
+        leak = ctx.electricals.leakage_na[gate]
+        rail = ctx.electricals.rail_cap_ff[gate]
+        src_stats.leak_na -= leak
+        tgt_stats.leak_na += leak
+        src_stats.rail_cap_ff -= rail
+        tgt_stats.rail_cap_ff += rail
+
+        partition.move_gate(gate, target_module)
+        if source not in partition.module_ids or partition.module_size(source) == 0:
+            # Module died with this move.
+            self.stats.pop(source, None)
+            self._sensors.pop(source, None)
+            self._dirty.discard(source)
+        else:
+            self._dirty.add(source)
+        self._dirty.add(target_module)
+        return source
+
+    def move_gates(self, gates, target_module: int) -> None:
+        for gate in gates:
+            self.move_gate(gate, target_module)
+
+    def split_new_module(self, gates) -> int:
+        """Create a new module from ``gates`` (state-maintaining version of
+        :meth:`Partition.split_new_module`).
+
+        Not on the optimiser's hot path, so all caches are simply rebuilt
+        from scratch afterwards.
+        """
+        gates = list(gates)
+        if not gates:
+            raise PartitionError("cannot create an empty module")
+        new_id = self.partition.split_new_module(gates)
+        self._rebuild_all()
+        return new_id
+
+    def merge_modules(self, keep: int, absorb: int) -> None:
+        """Merge ``absorb`` into ``keep`` (rebuilds caches; cold path)."""
+        self.partition.merge_modules(keep, absorb)
+        self._rebuild_all()
+
+    def _rebuild_all(self) -> None:
+        alive = set(self.partition.module_ids)
+        for module in list(self.stats):
+            if module not in alive:
+                del self.stats[module]
+                self._sensors.pop(module, None)
+        self._dirty.clear()
+        for module in alive:
+            self.stats[module] = self._build_module_stats(module)
+            self._dirty.add(module)
+
+    # ------------------------------------------------------------ derived data
+    def _refresh(self) -> None:
+        """Re-size sensors and re-degrade delays for modified modules."""
+        ctx = self.ctx
+        for module in sorted(self._dirty):
+            stats = self.stats[module]
+            gates = self._gates_array(module)
+            sensor = size_sensor(
+                ctx.technology, module, stats.max_current_ma, stats.rail_cap_ff
+            )
+            self._sensors[module] = sensor
+            if ctx.time_resolved_degradation:
+                activity = stats.activity_profile
+                n = np.asarray(
+                    [float(activity[ctx.times.times[g]].max()) for g in gates]
+                )
+            else:
+                n = float(stats.activity_profile.max())
+            delta = ctx.degradation.delta(
+                n,
+                sensor.rs_ohm,
+                sensor.cs_ff,
+                ctx.electricals.output_cap_ff[gates],
+                ctx.electricals.pulldown_res_ohm[gates],
+            )
+            self.delay_degraded[gates] = ctx.electricals.delay_ns[gates] * (1.0 + delta)
+        self._dirty.clear()
+
+    def sensors(self) -> dict[int, BICSensor]:
+        """Sized sensors for every module (refreshes lazily)."""
+        self._refresh()
+        return dict(self._sensors)
+
+    def cost_breakdown(self) -> CostBreakdown:
+        """All five cost terms for the current partition."""
+        self._refresh()
+        ctx = self.ctx
+        total_area = sum(s.area for s in self._sensors.values())
+        c1 = log_guarded(total_area)
+        d_bic = ctx.timing.critical_path_delay(self.delay_degraded)
+        d_nom = ctx.nominal_delay_ns
+        c2 = (d_bic - d_nom) / d_nom
+        total_sep = sum(stats.sep_sum for stats in self.stats.values())
+        c3 = log_guarded(total_sep)
+        settle = max(
+            settle_time_ns(sensor, ctx.technology) for sensor in self._sensors.values()
+        )
+        c4 = (d_bic + settle - d_nom) / d_nom
+        c5 = float(self.partition.num_modules)
+        return CostBreakdown(
+            c1_area=c1,
+            c2_delay=c2,
+            c3_separation=c3,
+            c4_test_time=c4,
+            c5_modules=c5,
+            weights=ctx.weights,
+        )
+
+    def constraint_report(self) -> ConstraintReport:
+        leak = {module: stats.leak_na for module, stats in self.stats.items()}
+        current = {module: stats.max_current_ma for module, stats in self.stats.items()}
+        return check_constraints(self.ctx.technology, leak, current)
+
+    def penalized_cost(self, penalty: float) -> float:
+        """Cost plus penalty for constraint violation — the optimiser's
+        selection criterion (feasible partitions dominate infeasible)."""
+        report = self.constraint_report()
+        cost = self.cost_breakdown().total
+        if report.feasible:
+            return cost
+        return cost + penalty * (1.0 + report.violation)
+
+    # ------------------------------------------------------------- validation
+    def consistency_check(self, atol: float = 1e-6) -> None:
+        """Compare every cache against a from-scratch rebuild.
+
+        Property tests drive random move sequences through this; any
+        drift in the incremental updates fails loudly here.
+        """
+        self.partition.check_invariants()
+        for module in self.partition.module_ids:
+            fresh = self._build_module_stats(module)
+            cached = self.stats[module]
+            if not np.allclose(cached.current_profile, fresh.current_profile, atol=atol):
+                raise PartitionError(f"module {module}: current profile drifted")
+            if not np.allclose(cached.activity_profile, fresh.activity_profile, atol=atol):
+                raise PartitionError(f"module {module}: activity profile drifted")
+            for field in ("leak_na", "sep_sum", "rail_cap_ff"):
+                if abs(getattr(cached, field) - getattr(fresh, field)) > atol:
+                    raise PartitionError(
+                        f"module {module}: {field} drifted "
+                        f"({getattr(cached, field)} vs {getattr(fresh, field)})"
+                    )
+        if set(self.stats) != set(self.partition.module_ids):
+            raise PartitionError(
+                f"stats keys {sorted(self.stats)} != modules "
+                f"{sorted(self.partition.module_ids)}"
+            )

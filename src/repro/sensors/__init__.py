@@ -1,0 +1,31 @@
+"""Built-in current (BIC) sensor models (paper Fig. 1, §3).
+
+* :mod:`~repro.sensors.bic` — sensor sizing: bypass-switch ON resistance
+  from the virtual-rail constraint, the ``A0 + A1/Rs`` area model and the
+  sensing time constant ``τ = Rs·Cs``;
+* :mod:`~repro.sensors.degradation` — gate delay degradation ``δ(g,t)``
+  caused by the shared virtual rail;
+* :mod:`~repro.sensors.sensing` — behavioural test-mode model: iDD decay,
+  threshold comparison, PASS/FAIL;
+* :mod:`~repro.sensors.insertion` — netlist transform adding per-module
+  sensors, virtual rails and the test monitor tree.
+"""
+
+from repro.sensors.bic import BICSensor, size_sensor
+from repro.sensors.degradation import (
+    DelayDegradationModel,
+    FirstOrderDegradation,
+    SecondOrderDegradation,
+)
+from repro.sensors.sensing import SenseOutcome, settle_time_ns, sense_module
+
+__all__ = [
+    "BICSensor",
+    "size_sensor",
+    "DelayDegradationModel",
+    "FirstOrderDegradation",
+    "SecondOrderDegradation",
+    "SenseOutcome",
+    "settle_time_ns",
+    "sense_module",
+]

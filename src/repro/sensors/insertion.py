@@ -1,0 +1,151 @@
+"""Netlist transform: incorporate BIC sensors into the design.
+
+The BIC sensor itself is an analog macro (sensing device + bypass MOS +
+detection circuitry, paper Fig. 1); at the gate level its footprint is:
+
+* every module's cells move onto a private *virtual ground rail* routed
+  to the module's sensor (recorded as metadata — rails are supply nets,
+  not signal nets);
+* one global test-control input ``<prefix>_ctrl`` drives all bypass
+  switches (C in Fig. 1);
+* each sensor contributes one digital PASS/FAIL signal, modelled as a
+  pseudo primary input ``<prefix>_fail_m<k>`` (its value comes from the
+  analog domain, so logic synthesis must treat it as free);
+* a balanced OR tree combines the per-module FAIL signals into one
+  observable output ``<prefix>_fail`` — the paper's "test output" line,
+  with the OR tree standing in for its routing/combining cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.netlist.bench import write_bench
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import GateType
+from repro.partition.partition import Partition
+
+__all__ = ["SensorInstance", "SensorizedDesign", "insert_sensors"]
+
+
+@dataclass(frozen=True)
+class SensorInstance:
+    """Netlist-level footprint of one module's BIC sensor."""
+
+    module_id: int
+    control_net: str
+    fail_net: str
+    rail_net: str
+
+
+@dataclass(frozen=True)
+class SensorizedDesign:
+    """A circuit with BIC sensors incorporated.
+
+    Attributes:
+        circuit: the extended netlist (original logic + monitor tree +
+            sensor pseudo-inputs).
+        base_circuit: the untouched original.
+        partition: the module assignment the sensors follow.
+        sensors: per-module sensor instances.
+        rail_of_gate: gate name -> virtual rail net name.
+        monitor_gates: names of the OR-tree gates added for the global
+            FAIL output (their count is the digital monitor overhead).
+        fail_output: name of the global FAIL primary output.
+    """
+
+    circuit: Circuit
+    base_circuit: Circuit
+    partition: Partition
+    sensors: tuple[SensorInstance, ...]
+    rail_of_gate: Mapping[str, str]
+    monitor_gates: tuple[str, ...]
+    fail_output: str
+
+    @property
+    def monitor_gate_count(self) -> int:
+        return len(self.monitor_gates)
+
+    def to_bench(self) -> str:
+        """Extended ``.bench`` text with the module map in the header."""
+        lines = [
+            "IDDQ-testable design: BIC sensors incorporated",
+            f"modules: {self.partition.num_modules}",
+        ]
+        for sensor in self.sensors:
+            gates = sorted(
+                self.base_circuit.gate_names[g]
+                for g in self.partition.gates_of(sensor.module_id)
+            )
+            preview = ", ".join(gates[:12]) + (" ..." if len(gates) > 12 else "")
+            lines.append(
+                f"module {sensor.module_id}: rail={sensor.rail_net} "
+                f"fail={sensor.fail_net} gates[{len(gates)}]: {preview}"
+            )
+        return write_bench(self.circuit, header="\n".join(lines))
+
+
+def insert_sensors(
+    circuit: Circuit, partition: Partition, prefix: str = "bic"
+) -> SensorizedDesign:
+    """Incorporate one BIC sensor per partition module into ``circuit``."""
+    builder = CircuitBuilder(f"{circuit.name}_iddq")
+    for gate in circuit:
+        builder.add(gate)
+    builder.outputs(circuit.output_names)
+
+    control = f"{prefix}_ctrl"
+    builder.input(control)
+
+    sensors: list[SensorInstance] = []
+    fail_nets: list[str] = []
+    rail_of_gate: dict[str, str] = {}
+    names = circuit.gate_names
+    for module_id in sorted(partition.module_ids):
+        fail_net = f"{prefix}_fail_m{module_id}"
+        rail_net = f"{prefix}_vgnd_m{module_id}"
+        builder.input(fail_net)
+        fail_nets.append(fail_net)
+        sensors.append(
+            SensorInstance(
+                module_id=module_id,
+                control_net=control,
+                fail_net=fail_net,
+                rail_net=rail_net,
+            )
+        )
+        for g in partition.gates_of(module_id):
+            rail_of_gate[names[g]] = rail_net
+
+    # Balanced OR tree over the per-module FAIL signals.  The control
+    # input gates the tree so the FAIL output is quiet in normal mode.
+    monitor_gates: list[str] = []
+    level = fail_nets
+    stage = 0
+    while len(level) > 1:
+        nxt: list[str] = []
+        for i in range(0, len(level) - 1, 2):
+            name = f"{prefix}_or_{stage}_{i // 2}"
+            builder.gate(name, GateType.OR, [level[i], level[i + 1]])
+            monitor_gates.append(name)
+            nxt.append(name)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        stage += 1
+    fail_output = f"{prefix}_fail"
+    builder.gate(fail_output, GateType.AND, [level[0], control])
+    monitor_gates.append(fail_output)
+    builder.output(fail_output)
+
+    return SensorizedDesign(
+        circuit=builder.build(),
+        base_circuit=circuit,
+        partition=partition,
+        sensors=tuple(sensors),
+        rail_of_gate=rail_of_gate,
+        monitor_gates=tuple(monitor_gates),
+        fail_output=fail_output,
+    )

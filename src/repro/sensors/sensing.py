@@ -1,0 +1,68 @@
+"""Behavioural test-mode model of the BIC sensor (paper Fig. 1, §3.4).
+
+Test protocol per vector: apply the pattern with the bypass switch ON,
+wait for the transient ``iDD`` to decay, switch the bypass OFF, let the
+sensing device develop its voltage and compare against the threshold —
+PASS if the sensed quiescent current is below ``IDDQ,th``, FAIL above.
+
+The settle time the paper estimates "from SPICE level simulations as a
+function of the BIC sensor time constant τ = Rs·Cs" is modelled in
+closed form as exponential decay of the transient current from its peak
+down to the technology's decay floor::
+
+    Δ(τ) = τ · ln(î_peak / i_floor) + t_sense
+
+which preserves the only property the cost function uses: monotone
+growth with τ (and therefore with module size and switch resistance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.library.technology import Technology
+from repro.sensors.bic import BICSensor
+
+__all__ = ["SenseOutcome", "settle_time_ns", "sense_module"]
+
+
+@dataclass(frozen=True)
+class SenseOutcome:
+    """Result of sensing one module for one vector."""
+
+    module_id: int
+    measured_ua: float
+    threshold_ua: float
+    fails: bool
+
+    @property
+    def passes(self) -> bool:
+        return not self.fails
+
+
+def settle_time_ns(sensor: BICSensor, technology: Technology) -> float:
+    """``Δ(τ)``: transient decay plus sense-amplifier decision time (ns)."""
+    peak_ua = max(sensor.max_current_ma * 1e3, technology.decay_floor_ua)
+    decay = sensor.tau_ns * math.log(peak_ua / technology.decay_floor_ua)
+    return decay + technology.sense_time_ns
+
+
+def sense_module(
+    sensor: BICSensor,
+    quiescent_current_ua: float,
+    technology: Technology,
+) -> SenseOutcome:
+    """Compare a module's measured quiescent current to the threshold.
+
+    The detection circuitry produces FAIL when the sensed IDDQ is at or
+    above ``IDDQ,th`` (the paper's "below/above a given threshold value").
+    """
+    if quiescent_current_ua < 0:
+        raise ValueError(f"negative quiescent current {quiescent_current_ua} uA")
+    return SenseOutcome(
+        module_id=sensor.module_id,
+        measured_ua=quiescent_current_ua,
+        threshold_ua=technology.iddq_threshold_ua,
+        fails=quiescent_current_ua >= technology.iddq_threshold_ua,
+    )

@@ -1,0 +1,86 @@
+"""Tests for the maximum transient current estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.current import (
+    GateElectricals,
+    module_current_profile,
+    module_max_current,
+)
+from repro.analysis.transition_times import TransitionTimes
+
+
+@pytest.fixture(scope="module")
+def c17_setup(request):
+    from repro.netlist.benchmarks import c17
+    from repro.library.default_lib import generic_library
+
+    circuit = c17()
+    return (
+        circuit,
+        TransitionTimes.compute(circuit),
+        GateElectricals.compute(circuit, generic_library()),
+    )
+
+
+class TestGateElectricals:
+    def test_vector_shapes(self, c17_setup):
+        circuit, _, electricals = c17_setup
+        n = len(circuit.gate_names)
+        for field in (
+            "peak_current_ma",
+            "leakage_na",
+            "delay_ns",
+            "output_cap_ff",
+            "rail_cap_ff",
+            "pulldown_res_ohm",
+            "cell_area",
+        ):
+            assert getattr(electricals, field).shape == (n,)
+
+    def test_c17_all_nand2(self, c17_setup):
+        circuit, _, electricals = c17_setup
+        from repro.library.default_lib import generic_library
+
+        nand2 = generic_library().cell("NAND2")
+        assert np.allclose(electricals.peak_current_ma, nand2.peak_current_ma)
+        assert np.allclose(electricals.delay_ns, nand2.delay_ns)
+
+
+class TestModuleCurrent:
+    def test_whole_circuit_profile(self, c17_setup):
+        circuit, times, electricals = c17_setup
+        peak = electricals.peak_current_ma[0]
+        all_gates = np.arange(6)
+        profile = module_current_profile(times, electricals, all_gates)
+        # From the exact T sets: 4, 4 and 2 gates per slot.
+        assert profile[1] == pytest.approx(4 * peak)
+        assert profile[2] == pytest.approx(4 * peak)
+        assert profile[3] == pytest.approx(2 * peak)
+        assert module_max_current(times, electricals, all_gates) == pytest.approx(4 * peak)
+
+    def test_paper_optimum_module_current(self, c17_paper, library):
+        """Each module of the paper's C17 optimum peaks at two gates."""
+        times = TransitionTimes.compute(c17_paper)
+        electricals = GateElectricals.compute(c17_paper, library)
+        index = c17_paper.gate_index
+        module = np.asarray([index["g1"], index["g3"], index["O2"]])
+        peak = electricals.peak_current_ma[0]
+        assert module_max_current(times, electricals, module) == pytest.approx(2 * peak)
+
+    def test_empty_module(self, c17_setup):
+        _, times, electricals = c17_setup
+        assert module_max_current(times, electricals, np.asarray([], dtype=np.int64)) == 0.0
+
+    def test_subadditive_under_split(self, small_circuit, library):
+        """Splitting a group can only lower (or keep) each part's maximum."""
+        times = TransitionTimes.compute(small_circuit)
+        electricals = GateElectricals.compute(small_circuit, library)
+        n = len(small_circuit.gate_names)
+        whole = module_max_current(times, electricals, np.arange(n))
+        half_a = module_max_current(times, electricals, np.arange(0, n, 2))
+        half_b = module_max_current(times, electricals, np.arange(1, n, 2))
+        assert half_a <= whole
+        assert half_b <= whole
+        assert whole <= half_a + half_b + 1e-9

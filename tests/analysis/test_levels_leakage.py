@@ -1,0 +1,52 @@
+"""Tests for levelisation helpers and the leakage estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.leakage import gate_leakages, module_leakage
+from repro.analysis.levels import gates_by_level, reverse_levels
+
+
+class TestLevels:
+    def test_gates_by_level_c17(self, c17_circuit):
+        buckets = gates_by_level(c17_circuit)
+        assert len(buckets) == 3
+        assert set(buckets[0]) == {"10", "11"}
+        assert set(buckets[1]) == {"16", "19"}
+        assert set(buckets[2]) == {"22", "23"}
+
+    def test_gates_by_level_covers_all(self, small_circuit):
+        buckets = gates_by_level(small_circuit)
+        names = [n for bucket in buckets for n in bucket]
+        assert sorted(names) == sorted(small_circuit.gate_names)
+
+    def test_reverse_levels_c17(self, c17_circuit):
+        reverse = reverse_levels(c17_circuit)
+        assert reverse["22"] == 0
+        assert reverse["23"] == 0
+        assert reverse["16"] == 1
+        assert reverse["11"] == 2
+        # Primary input 3 feeds 10 and 11 -> three more levels to a sink.
+        assert reverse["3"] == 3
+
+
+class TestLeakage:
+    def test_c17_leakage_uniform(self, c17_circuit, library):
+        leaks = gate_leakages(c17_circuit, library)
+        nand2 = library.cell("NAND2").leakage_na_worst
+        assert np.allclose(leaks, nand2)
+
+    def test_module_leakage_sums(self, c17_circuit, library):
+        leaks = gate_leakages(c17_circuit, library)
+        assert module_leakage(leaks, [0, 1, 2]) == pytest.approx(leaks[:3].sum())
+
+    def test_empty_module(self, c17_circuit, library):
+        leaks = gate_leakages(c17_circuit, library)
+        assert module_leakage(leaks, []) == 0.0
+
+    def test_partition_conserves_total(self, small_circuit, library):
+        leaks = gate_leakages(small_circuit, library)
+        n = len(small_circuit.gate_names)
+        part_a = module_leakage(leaks, range(0, n, 2))
+        part_b = module_leakage(leaks, range(1, n, 2))
+        assert part_a + part_b == pytest.approx(leaks.sum())

@@ -1,0 +1,87 @@
+"""Tests for critical-path timing, including a differential check of the
+levelised numpy longest path against a naive implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.current import GateElectricals
+from repro.analysis.timing import LevelizedTiming, critical_path_delay, nominal_gate_delays
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.gate import GateType
+from repro.netlist.generate import GeneratorConfig, generate_iscas_like
+
+
+def naive_longest_path(circuit, delays_by_name):
+    arrival = {}
+    for name in circuit.topological_order:
+        gate = circuit.gate(name)
+        if gate.gate_type.is_input:
+            arrival[name] = 0.0
+        else:
+            arrival[name] = (
+                max(arrival[f] for f in gate.fanins) + delays_by_name[name]
+            )
+    return max(v for k, v in arrival.items() if not circuit.gate(k).gate_type.is_input)
+
+
+class TestChain:
+    def test_inverter_chain(self):
+        builder = CircuitBuilder("chain").input("a")
+        previous = "a"
+        for i in range(4):
+            builder.gate(f"n{i}", GateType.NOT, [previous])
+            previous = f"n{i}"
+        circuit = builder.output(previous).build()
+        delays = np.asarray([0.35] * 4)
+        assert critical_path_delay(circuit, delays) == pytest.approx(4 * 0.35)
+
+    def test_delays_shape_checked(self, c17_circuit):
+        timing = LevelizedTiming(c17_circuit)
+        with pytest.raises(ValueError, match="shape"):
+            timing.arrival_times(np.zeros(3))
+
+
+class TestC17:
+    def test_c17_critical_path(self, c17_circuit, library):
+        electricals = GateElectricals.compute(c17_circuit, library)
+        delays = nominal_gate_delays(electricals)
+        nand2_delay = library.cell("NAND2").delay_ns
+        assert critical_path_delay(c17_circuit, delays) == pytest.approx(3 * nand2_delay)
+
+    def test_degraded_delays_increase_path(self, c17_circuit, library):
+        electricals = GateElectricals.compute(c17_circuit, library)
+        timing = LevelizedTiming(c17_circuit)
+        base = timing.critical_path_delay(electricals.delay_ns)
+        degraded = timing.critical_path_delay(electricals.delay_ns * 1.07)
+        assert degraded == pytest.approx(base * 1.07)
+
+
+class TestDifferentialProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_gates=st.integers(5, 100),
+        num_inputs=st.integers(2, 6),
+        depth=st.integers(2, 12),
+        seed=st.integers(0, 100_000),
+    )
+    def test_levelized_equals_naive(self, num_gates, num_inputs, depth, seed):
+        circuit = generate_iscas_like(
+            GeneratorConfig(
+                name="lp",
+                num_gates=num_gates,
+                num_inputs=num_inputs,
+                num_outputs=2,
+                depth=min(depth, num_gates),
+                seed=seed,
+            )
+        )
+        rng = np.random.default_rng(seed)
+        delays = rng.uniform(0.2, 2.0, len(circuit.gate_names))
+        delays_by_name = {
+            name: delays[i] for i, name in enumerate(circuit.gate_names)
+        }
+        fast = LevelizedTiming(circuit).critical_path_delay(delays)
+        slow = naive_longest_path(circuit, delays_by_name)
+        assert fast == pytest.approx(slow)

@@ -1,0 +1,103 @@
+"""Tests for the transition-time sets T(g), including a differential
+property test against an independent set-based implementation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.transition_times import (
+    TransitionTimes,
+    times_from_mask,
+    transition_time_masks,
+)
+from repro.netlist.generate import GeneratorConfig, generate_iscas_like
+
+
+def brute_force_times(circuit) -> dict[str, set[int]]:
+    """Independent implementation: explicit set union over the DAG."""
+    times: dict[str, set[int]] = {}
+    for name in circuit.topological_order:
+        gate = circuit.gate(name)
+        if gate.gate_type.is_input:
+            times[name] = {0}
+        else:
+            acc: set[int] = set()
+            for fanin in gate.fanins:
+                acc |= {t + 1 for t in times[fanin]}
+            times[name] = acc
+    return times
+
+
+class TestC17:
+    def test_hand_computed_sets(self, c17_circuit):
+        masks = transition_time_masks(c17_circuit)
+        assert times_from_mask(masks["1"]) == (0,)
+        assert times_from_mask(masks["10"]) == (1,)
+        assert times_from_mask(masks["11"]) == (1,)
+        # 16 = NAND(2, 11): a direct input path (t=1) plus the path
+        # through gate 11 (t=2); same for 19 = NAND(11, 7).
+        assert times_from_mask(masks["16"]) == (1, 2)
+        assert times_from_mask(masks["19"]) == (1, 2)
+        # Output NANDs see depth-2 and depth-3 paths.
+        assert times_from_mask(masks["22"]) == (2, 3)
+        assert times_from_mask(masks["23"]) == (2, 3)
+
+    def test_mask_decoding(self):
+        assert times_from_mask(0) == ()
+        assert times_from_mask(0b1011) == (0, 1, 3)
+
+
+class TestReconvergence:
+    def test_paths_of_different_length_union(self, c17_paper):
+        """O2 = NAND(g1, g3) reconverges paths of length 2 and 3."""
+        masks = transition_time_masks(c17_paper)
+        assert times_from_mask(masks["O2"]) == (2, 3)
+
+
+class TestDifferentialProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_gates=st.integers(5, 80),
+        num_inputs=st.integers(2, 6),
+        depth=st.integers(2, 10),
+        seed=st.integers(0, 100_000),
+    )
+    def test_bitmask_equals_set_implementation(self, num_gates, num_inputs, depth, seed):
+        circuit = generate_iscas_like(
+            GeneratorConfig(
+                name="tt",
+                num_gates=num_gates,
+                num_inputs=num_inputs,
+                num_outputs=2,
+                depth=min(depth, num_gates),
+                seed=seed,
+            )
+        )
+        masks = transition_time_masks(circuit)
+        reference = brute_force_times(circuit)
+        for name in circuit.gate_names:
+            assert set(times_from_mask(masks[name])) == reference[name]
+
+
+class TestTransitionTimesObject:
+    def test_times_within_depth(self, small_circuit):
+        times = TransitionTimes.compute(small_circuit)
+        assert times.depth == small_circuit.depth
+        for arr in times.times:
+            assert arr.min() >= 1
+            assert arr.max() <= times.depth
+
+    def test_profile_accumulates(self, c17_circuit):
+        times = TransitionTimes.compute(c17_circuit)
+        weights = np.ones(len(c17_circuit.gate_names))
+        all_gates = np.arange(len(c17_circuit.gate_names))
+        profile = times.profile(all_gates, weights)
+        # t=1: gates 10, 11, 16, 19; t=2: 16, 19, 22, 23; t=3: 22, 23.
+        assert profile[1] == 4
+        assert profile[2] == 4
+        assert profile[3] == 2
+
+    def test_profile_empty_group(self, c17_circuit):
+        times = TransitionTimes.compute(c17_circuit)
+        profile = times.profile([], np.ones(6))
+        assert profile.sum() == 0

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import EvolutionParams
+from repro.library.default_lib import generic_library, generic_technology
+from repro.netlist.benchmarks import c17, c17_paper_naming
+from repro.netlist.generate import GeneratorConfig, generate_iscas_like
+from repro.partition.evaluator import PartitionEvaluator
+
+
+@pytest.fixture(scope="session")
+def c17_circuit():
+    return c17()
+
+
+@pytest.fixture(scope="session")
+def c17_paper():
+    return c17_paper_naming()
+
+
+@pytest.fixture(scope="session")
+def small_circuit():
+    """A 120-gate deterministic synthetic circuit for mid-weight tests."""
+    config = GeneratorConfig(
+        name="small120",
+        num_gates=120,
+        num_inputs=12,
+        num_outputs=8,
+        depth=10,
+        seed=7,
+    )
+    return generate_iscas_like(config)
+
+
+@pytest.fixture(scope="session")
+def small_evaluator(small_circuit):
+    return PartitionEvaluator(small_circuit)
+
+
+@pytest.fixture(scope="session")
+def c17_evaluator(c17_paper):
+    return PartitionEvaluator(c17_paper)
+
+
+@pytest.fixture(scope="session")
+def library():
+    return generic_library()
+
+
+@pytest.fixture(scope="session")
+def technology():
+    return generic_technology()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def quick_es_params():
+    return EvolutionParams(
+        mu=3,
+        children_per_parent=2,
+        monte_carlo_per_parent=1,
+        generations=15,
+        convergence_window=10,
+    )

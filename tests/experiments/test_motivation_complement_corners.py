@@ -1,0 +1,63 @@
+"""Tests for the motivation, complementarity and corner experiments."""
+
+from repro.experiments.catalog import experiment_names
+from repro.experiments.complement import run_complement
+from repro.experiments.corners import run_corner_sweep
+from repro.experiments.motivation import run_motivation_coverage
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        names = set(experiment_names())
+        assert {
+            "table1",
+            "figure1",
+            "figure2",
+            "figure45",
+            "motivation",
+            "complement",
+            "sweep-rail-limit",
+            "sweep-convergence",
+            "sweep-corners",
+            "ablation-monte-carlo",
+            "ablation-incremental",
+            "ablation-degradation",
+            "ablation-weights",
+            "ablation-optimizers",
+        } <= names
+
+
+class TestMotivation:
+    def test_partitioning_improves_coverage(self):
+        result = run_motivation_coverage(quick=True, seed=3)
+        single = float(result.rows[0][3].rstrip("%"))
+        multi = float(result.rows[1][3].rstrip("%"))
+        assert multi > single
+        single_th = float(result.rows[0][2])
+        multi_th = float(result.rows[1][2])
+        assert multi_th <= single_th
+
+
+class TestComplement:
+    def test_iddq_catches_logic_invisible_defects(self):
+        result = run_complement(quick=True, seed=8)
+        assert len(result.rows) == 2
+        iddq_cov = float(result.rows[1][2].rstrip("%"))
+        assert iddq_cov > 50.0
+        # The note must quantify the logic-invisible population.
+        assert any("structurally blind" in note for note in result.notes)
+
+
+class TestCornerSweep:
+    def test_three_corners_reported(self):
+        result = run_corner_sweep(circuit_name="c880", quick=True, seed=6)
+        corners = [row[0] for row in result.rows]
+        assert corners == ["nominal", "ff-hot", "ss-cold"]
+
+    def test_nominal_feasible_hot_degrades(self):
+        result = run_corner_sweep(circuit_name="c880", quick=True, seed=6)
+        rows = {row[0]: row for row in result.rows}
+        assert rows["nominal"][1] == "yes"
+        # Discriminability at ff-hot is 5x worse than nominal.
+        assert float(rows["ff-hot"][2]) < float(rows["nominal"][2])
+        assert float(rows["ss-cold"][2]) > float(rows["nominal"][2])

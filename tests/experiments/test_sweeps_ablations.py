@@ -1,0 +1,55 @@
+"""Tests for the sweep and ablation experiments (quick variants)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_degradation_ablation,
+    run_incremental_speedup,
+    run_weight_sensitivity,
+)
+from repro.experiments.sweeps import run_convergence_curve, run_rail_limit_sweep
+
+
+class TestRailLimitSweep:
+    def test_area_monotone_decreasing_in_r(self):
+        result = run_rail_limit_sweep(circuit_name="c880", quick=True)
+        areas = [row[1] for row in result.rows]
+        assert all(b < a for a, b in zip(areas, areas[1:]))
+
+    def test_delay_monotone_increasing_in_r(self):
+        result = run_rail_limit_sweep(circuit_name="c880", quick=True)
+        delays = [float(row[2].rstrip("%")) for row in result.rows]
+        assert all(b > a for a, b in zip(delays, delays[1:]))
+
+
+class TestConvergenceCurve:
+    def test_best_cost_non_increasing(self):
+        result = run_convergence_curve(circuit_name="c880", quick=True, seed=3)
+        costs = [float(row[1]) for row in result.rows]
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_covers_full_budget(self):
+        result = run_convergence_curve(circuit_name="c880", quick=True, seed=3)
+        generations = [row[0] for row in result.rows]
+        assert generations[-1] == 40  # quick budget, window disabled
+
+
+class TestAblationRunners:
+    def test_incremental_speedup_reports_ratio(self):
+        result = run_incremental_speedup(circuit_name="c880", quick=True, moves=20)
+        speedup = float(result.rows[2][1].rstrip("x"))
+        assert speedup > 1.0
+
+    def test_degradation_ablation_two_models(self):
+        result = run_degradation_ablation(circuit_name="c880", quick=True)
+        labels = [row[0] for row in result.rows]
+        assert labels == ["first-order", "second-order"]
+        # First order reports larger delay overhead (no Cs damping).
+        first = float(result.rows[0][3].rstrip("%"))
+        second = float(result.rows[1][3].rstrip("%"))
+        assert first > second
+
+    @pytest.mark.slow
+    def test_weight_sensitivity_rows(self):
+        result = run_weight_sensitivity(circuit_name="c880", quick=True)
+        assert [row[0] for row in result.rows] == ["0.1x", "1.0x", "10.0x"]

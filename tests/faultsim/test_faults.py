@@ -1,0 +1,116 @@
+"""Tests for the IDDQ defect models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultSimError
+from repro.faultsim.faults import (
+    BridgingFault,
+    GateOxideShort,
+    StuckOnTransistor,
+    sample_bridging_faults,
+    sample_gate_oxide_shorts,
+    sample_stuck_on_transistors,
+)
+from repro.faultsim.logic_sim import LogicSimulator
+from repro.faultsim.patterns import exhaustive_patterns
+
+
+@pytest.fixture(scope="module")
+def c17_values():
+    from repro.netlist.benchmarks import c17
+
+    circuit = c17()
+    return circuit, LogicSimulator(circuit).simulate(exhaustive_patterns(5))
+
+
+def unpack(words, count):
+    return np.unpackbits(words.view(np.uint8), bitorder="little")[:count]
+
+
+class TestBridgingFault:
+    def test_active_on_opposite_values(self, c17_values):
+        circuit, values = c17_values
+        fault = BridgingFault(
+            defect_id="b", current_ua=10.0, observing_gates=("10",),
+            net_a="1", net_b="10",
+        )
+        active = unpack(fault.activation(values), 32)
+        for pattern in range(32):
+            expected = values.value("1", pattern) != values.value("10", pattern)
+            assert bool(active[pattern]) == expected
+
+    def test_validation(self):
+        with pytest.raises(FaultSimError):
+            BridgingFault(defect_id="b", current_ua=0.0, observing_gates=("x",))
+        with pytest.raises(FaultSimError):
+            BridgingFault(defect_id="b", current_ua=1.0, observing_gates=())
+
+
+class TestGateOxideShort:
+    def test_active_when_input_high(self, c17_values):
+        circuit, values = c17_values
+        fault = GateOxideShort(
+            defect_id="g", current_ua=5.0, observing_gates=("16",),
+            gate="16", input_net="11", active_value=1,
+        )
+        active = unpack(fault.activation(values), 32)
+        for pattern in range(32):
+            assert bool(active[pattern]) == bool(values.value("11", pattern))
+
+    def test_active_low_variant(self, c17_values):
+        circuit, values = c17_values
+        fault = GateOxideShort(
+            defect_id="g", current_ua=5.0, observing_gates=("16",),
+            gate="16", input_net="11", active_value=0,
+        )
+        active = unpack(fault.activation(values), 32)
+        for pattern in range(32):
+            assert bool(active[pattern]) == (not values.value("11", pattern))
+
+
+class TestStuckOn:
+    def test_active_output_polarity(self, c17_values):
+        circuit, values = c17_values
+        for polarity in (0, 1):
+            fault = StuckOnTransistor(
+                defect_id="s", current_ua=20.0, observing_gates=("22",),
+                gate="22", active_output=polarity,
+            )
+            active = unpack(fault.activation(values), 32)
+            for pattern in range(32):
+                assert bool(active[pattern]) == (values.value("22", pattern) == polarity)
+
+
+class TestSamplers:
+    def test_bridging_sampler(self, small_circuit):
+        faults = sample_bridging_faults(small_circuit, 25, seed=1)
+        assert len(faults) == 25
+        ids = {f.defect_id for f in faults}
+        assert len(ids) == 25  # no duplicates
+        for fault in faults:
+            assert fault.net_a != fault.net_b
+            assert fault.current_ua > 0
+            assert fault.observing_gates
+
+    def test_oxide_short_sampler(self, small_circuit):
+        faults = sample_gate_oxide_shorts(small_circuit, 20, seed=2)
+        assert len(faults) == 20
+        for fault in faults:
+            gate = small_circuit.gate(fault.gate)
+            assert fault.input_net in gate.fanins
+
+    def test_stuck_on_sampler(self, small_circuit):
+        faults = sample_stuck_on_transistors(small_circuit, 15, seed=3)
+        assert len(faults) == 15
+        for fault in faults:
+            assert fault.gate in set(small_circuit.gate_names)
+
+    def test_samplers_deterministic(self, small_circuit):
+        a = sample_bridging_faults(small_circuit, 10, seed=9)
+        b = sample_bridging_faults(small_circuit, 10, seed=9)
+        assert [f.defect_id for f in a] == [f.defect_id for f in b]
+
+    def test_impossible_count_raises(self, c17_circuit):
+        with pytest.raises(FaultSimError):
+            sample_stuck_on_transistors(c17_circuit, 100, seed=1)

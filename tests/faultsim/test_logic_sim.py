@@ -1,0 +1,113 @@
+"""Tests for the bit-parallel logic simulator, including a differential
+property test against a naive per-pattern interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultSimError
+from repro.faultsim.logic_sim import LogicSimulator
+from repro.faultsim.patterns import exhaustive_patterns, random_patterns
+from repro.netlist.gate import evaluate_gate
+from repro.netlist.generate import GeneratorConfig, generate_iscas_like
+
+
+def naive_simulate(circuit, patterns):
+    """Reference interpreter: one gate at a time, one pattern at a time."""
+    results = []
+    for pattern in patterns:
+        values = dict(zip(circuit.input_names, (int(b) for b in pattern)))
+        for name in circuit.topological_order:
+            gate = circuit.gate(name)
+            if gate.gate_type.is_input:
+                continue
+            values[name] = evaluate_gate(
+                gate.gate_type, [values[f] for f in gate.fanins]
+            )
+        results.append([values[o] for o in circuit.output_names])
+    return np.asarray(results, dtype=np.uint8)
+
+
+class TestC17Exhaustive:
+    def test_all_32_patterns(self, c17_circuit):
+        patterns = exhaustive_patterns(5)
+        fast = LogicSimulator(c17_circuit).simulate_outputs(patterns)
+        slow = naive_simulate(c17_circuit, patterns)
+        assert (fast == slow).all()
+
+
+class TestNodeValues:
+    def test_value_accessor(self, c17_circuit):
+        patterns = exhaustive_patterns(5)
+        values = LogicSimulator(c17_circuit).simulate(patterns)
+        # Pattern 0b11111 = all ones: gate 10 = NAND(1,1) = 0.
+        last = patterns.shape[0] - 1
+        assert values.value("10", last) == 0
+        assert values.value("1", last) == 1
+
+    def test_value_bounds_checked(self, c17_circuit):
+        values = LogicSimulator(c17_circuit).simulate(exhaustive_patterns(5))
+        with pytest.raises(FaultSimError):
+            values.value("10", 32)
+
+    def test_node_bits_roundtrip(self, c17_circuit):
+        patterns = exhaustive_patterns(5)
+        values = LogicSimulator(c17_circuit).simulate(patterns)
+        bits = values.node_bits("1")
+        assert (bits == patterns[:, 0]).all()
+
+    def test_unpack_shape(self, c17_circuit):
+        values = LogicSimulator(c17_circuit).simulate(exhaustive_patterns(5))
+        matrix = values.unpack(["22", "23"])
+        assert matrix.shape == (32, 2)
+
+
+class TestInputValidation:
+    def test_wrong_width_rejected(self, c17_circuit):
+        sim = LogicSimulator(c17_circuit)
+        with pytest.raises(FaultSimError, match="expected"):
+            sim.simulate(np.zeros((4, 3), dtype=np.uint8))
+
+    def test_empty_patterns_rejected(self, c17_circuit):
+        sim = LogicSimulator(c17_circuit)
+        with pytest.raises(FaultSimError):
+            sim.simulate(np.zeros((0, 5), dtype=np.uint8))
+
+
+class TestWordBoundaries:
+    @pytest.mark.parametrize("count", [1, 63, 64, 65, 127, 128, 200])
+    def test_pattern_counts_across_word_edges(self, c17_circuit, count):
+        patterns = random_patterns(5, count, seed=count)
+        fast = LogicSimulator(c17_circuit).simulate_outputs(patterns)
+        slow = naive_simulate(c17_circuit, patterns)
+        assert fast.shape == (count, 2)
+        assert (fast == slow).all()
+
+
+class TestDifferentialProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_gates=st.integers(5, 60),
+        num_inputs=st.integers(2, 6),
+        depth=st.integers(2, 8),
+        seed=st.integers(0, 100_000),
+        count=st.integers(1, 100),
+    )
+    def test_bit_parallel_equals_interpreter(
+        self, num_gates, num_inputs, depth, seed, count
+    ):
+        circuit = generate_iscas_like(
+            GeneratorConfig(
+                name="ls",
+                num_gates=num_gates,
+                num_inputs=num_inputs,
+                num_outputs=2,
+                depth=min(depth, num_gates),
+                seed=seed,
+            )
+        )
+        patterns = random_patterns(num_inputs, count, seed=seed)
+        fast = LogicSimulator(circuit).simulate_outputs(patterns)
+        slow = naive_simulate(circuit, patterns)
+        assert (fast == slow).all()

@@ -1,0 +1,106 @@
+"""Tests for pattern generation/compaction and the test-time model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultSimError
+from repro.faultsim.patterns import compact_patterns, exhaustive_patterns, random_patterns
+from repro.faultsim.testtime import test_application_time as application_time
+from repro.partition.partition import Partition
+
+
+class TestPatterns:
+    def test_random_shape_and_binary(self):
+        patterns = random_patterns(7, 50, seed=1)
+        assert patterns.shape == (50, 7)
+        assert set(np.unique(patterns)) <= {0, 1}
+
+    def test_random_deterministic(self):
+        assert (random_patterns(5, 20, seed=2) == random_patterns(5, 20, seed=2)).all()
+
+    def test_exhaustive_complete_and_unique(self):
+        patterns = exhaustive_patterns(4)
+        assert patterns.shape == (16, 4)
+        as_ints = {int(sum(int(b) << k for k, b in enumerate(row))) for row in patterns}
+        assert as_ints == set(range(16))
+
+    def test_exhaustive_guard(self):
+        with pytest.raises(FaultSimError):
+            exhaustive_patterns(25)
+
+    def test_invalid_requests(self):
+        with pytest.raises(FaultSimError):
+            random_patterns(0, 5)
+        with pytest.raises(FaultSimError):
+            exhaustive_patterns(0)
+
+
+class TestCompaction:
+    def test_compaction_preserves_coverage(self):
+        matrix = np.asarray(
+            [
+                [1, 0, 0, 1],
+                [0, 1, 0, 1],
+                [0, 0, 1, 0],
+                [0, 0, 0, 0],  # undetectable
+            ],
+            dtype=bool,
+        )
+        chosen = compact_patterns(matrix)
+        detectable = matrix.any(axis=1)
+        covered = matrix[:, chosen].any(axis=1)
+        assert (covered[detectable]).all()
+        assert len(chosen) <= 3
+
+    def test_greedy_picks_dominating_pattern(self):
+        matrix = np.asarray([[1, 1], [0, 1], [0, 1]], dtype=bool)
+        chosen = compact_patterns(matrix)
+        assert list(chosen) == [1]
+
+    def test_shape_validation(self):
+        with pytest.raises(FaultSimError):
+            compact_patterns(np.zeros(5, dtype=bool))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        defects=st.integers(1, 20),
+        patterns=st.integers(1, 20),
+        seed=st.integers(0, 1000),
+    )
+    def test_compaction_property(self, defects, patterns, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((defects, patterns)) < 0.2
+        chosen = compact_patterns(matrix)
+        detectable = matrix.any(axis=1)
+        if chosen.size:
+            covered = matrix[:, chosen].any(axis=1)
+        else:
+            covered = np.zeros(defects, dtype=bool)
+        assert (covered[detectable]).all()
+        assert len(set(chosen.tolist())) == len(chosen)
+
+
+class TestTestTime:
+    def test_report_fields(self, c17_evaluator, c17_paper):
+        evaluation = c17_evaluator.evaluate(Partition.single_module(c17_paper))
+        report = application_time(evaluation, num_vectors=100)
+        assert report.num_vectors == 100
+        assert report.vector_time_ns > evaluation.nominal_delay_ns
+        assert report.total_time_us == pytest.approx(
+            100 * report.vector_time_ns * 1e-3
+        )
+        assert report.overhead > 0
+        assert "100 vectors" in report.summary()
+
+    def test_more_modules_sense_in_parallel(self, c17_evaluator, c17_paper):
+        single = c17_evaluator.evaluate(Partition.single_module(c17_paper))
+        split = c17_evaluator.evaluate(
+            Partition.from_groups(c17_paper, [{"g1", "g3", "O2"}, {"g2", "g4", "O3"}])
+        )
+        t_single = application_time(single, 10)
+        t_split = application_time(split, 10)
+        # Sensing is parallel: the per-vector time is set by the slowest
+        # sensor, not the sum over sensors.
+        assert t_split.vector_time_ns < 2 * t_single.vector_time_ns

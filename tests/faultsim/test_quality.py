@@ -1,0 +1,65 @@
+"""Tests for the Williams-Brown defect-level model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FaultSimError
+from repro.faultsim.coverage import CoverageReport
+from repro.faultsim.quality import defect_level, quality_from_coverage
+
+
+class TestDefectLevel:
+    def test_full_coverage_ships_yield_only(self):
+        assert defect_level(0.9, 1.0) == pytest.approx(0.0)
+
+    def test_zero_coverage_ships_all_defects(self):
+        assert defect_level(0.9, 0.0) == pytest.approx(0.1)
+
+    def test_known_point(self):
+        # Y=0.5, FC=0.9: DL = 1 - 0.5^0.1 ~ 6.7%.
+        assert defect_level(0.5, 0.9) == pytest.approx(0.06697, abs=1e-4)
+
+    def test_bounds_validated(self):
+        with pytest.raises(FaultSimError):
+            defect_level(0.0, 0.5)
+        with pytest.raises(FaultSimError):
+            defect_level(0.9, 1.5)
+
+    @given(
+        y=st.floats(0.01, 1.0),
+        fc1=st.floats(0.0, 1.0),
+        fc2=st.floats(0.0, 1.0),
+    )
+    def test_monotone_in_coverage(self, y, fc1, fc2):
+        lo, hi = sorted((fc1, fc2))
+        assert defect_level(y, hi) <= defect_level(y, lo) + 1e-12
+
+
+class TestQualityReport:
+    def _report(self, coverage):
+        detected = int(coverage * 100)
+        return CoverageReport(
+            num_defects=100,
+            num_detected=detected,
+            detected_ids=tuple(f"d{i}" for i in range(detected)),
+            undetected_ids=tuple(f"u{i}" for i in range(100 - detected)),
+            num_patterns=10,
+            num_modules=4,
+            thresholds_ua={0: 1.0},
+        )
+
+    def test_from_coverage(self):
+        quality = quality_from_coverage(self._report(0.9), yield_fraction=0.8)
+        assert quality.coverage == pytest.approx(0.9)
+        assert quality.defect_level == pytest.approx(defect_level(0.8, 0.9))
+
+    def test_dpm_and_summary(self):
+        quality = quality_from_coverage(self._report(0.5), yield_fraction=0.9)
+        assert quality.defects_per_million == pytest.approx(quality.defect_level * 1e6)
+        assert "DPM" in quality.summary()
+
+    def test_better_coverage_better_quality(self):
+        low = quality_from_coverage(self._report(0.5))
+        high = quality_from_coverage(self._report(0.95))
+        assert high.defect_level < low.defect_level

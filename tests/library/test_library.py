@@ -1,0 +1,100 @@
+"""Tests for CellLibrary, Technology and the generic defaults."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library.cell import CellSpec
+from repro.library.default_lib import generic_library, generic_technology
+from repro.library.library import CellLibrary
+from repro.library.technology import Technology
+from repro.netlist.gate import Gate, GateType
+
+
+class TestCellLibrary:
+    def test_for_gate_by_type_and_arity(self, library):
+        gate = Gate("g", GateType.NAND, ("a", "b", "c"))
+        assert library.for_gate(gate).name == "NAND3"
+
+    def test_for_gate_explicit_cell(self, library):
+        gate = Gate("g", GateType.NAND, ("a", "b"), cell="NAND4")
+        assert library.for_gate(gate).name == "NAND4"
+
+    def test_missing_cell_raises(self, library):
+        gate = Gate("g", GateType.NAND, ("a", "b"), cell="NAND99")
+        with pytest.raises(LibraryError, match="no cell"):
+            library.for_gate(gate)
+
+    def test_input_has_no_cell(self, library):
+        with pytest.raises(LibraryError, match="no library cell"):
+            library.for_gate(Gate("pi", GateType.INPUT))
+
+    def test_duplicate_cell_rejected(self):
+        cell = generic_library().cell("NOT")
+        with pytest.raises(LibraryError, match="duplicate"):
+            CellLibrary("dup", [cell, cell])
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(LibraryError, match="no cells"):
+            CellLibrary("empty", [])
+
+    def test_aggregates_positive(self, library):
+        assert library.mean_peak_current_ma() > 0
+        assert library.mean_leakage_na() > 0
+        assert library.mean_delay_ns() > 0
+
+    def test_iteration_and_len(self, library):
+        assert len(list(library)) == len(library)
+
+
+class TestGenericLibrary:
+    def test_cached_singleton(self):
+        assert generic_library() is generic_library()
+
+    @pytest.mark.parametrize("function", ["AND", "NAND", "OR", "NOR", "XOR", "XNOR"])
+    @pytest.mark.parametrize("arity", range(2, 10))
+    def test_all_arities_characterised(self, function, arity):
+        assert f"{function}{arity}" in generic_library()
+
+    def test_single_input_cells(self):
+        library = generic_library()
+        assert "NOT" in library
+        assert "BUF" in library
+
+    def test_wider_gates_cost_more(self):
+        library = generic_library()
+        for function in ("NAND", "NOR"):
+            narrow = library.cell(f"{function}2")
+            wide = library.cell(f"{function}5")
+            assert wide.delay_ns > narrow.delay_ns
+            assert wide.peak_current_ma > narrow.peak_current_ma
+            assert wide.leakage_na_max > narrow.leakage_na_max
+            assert wide.area > narrow.area
+
+
+class TestTechnology:
+    def test_generic_values(self, technology):
+        assert technology.iddq_threshold_ua == 1.0
+        assert technology.discriminability == 10.0
+        assert 0.1 <= technology.rail_limit_v <= 0.3  # the paper's band
+
+    def test_max_module_leakage(self, technology):
+        # 1 uA threshold / d=10 -> 100 nA budget.
+        assert technology.max_module_leakage_na == pytest.approx(100.0)
+
+    def test_rail_limit_must_be_below_vdd(self):
+        import dataclasses
+
+        with pytest.raises(LibraryError):
+            dataclasses.replace(generic_technology(), rail_limit_v=6.0)
+
+    def test_discriminability_above_one(self):
+        import dataclasses
+
+        with pytest.raises(LibraryError, match="discriminability"):
+            dataclasses.replace(generic_technology(), discriminability=1.0)
+
+    def test_rs_bounds_ordered(self):
+        import dataclasses
+
+        with pytest.raises(LibraryError):
+            dataclasses.replace(generic_technology(), min_rs_ohm=100.0, max_rs_ohm=1.0)

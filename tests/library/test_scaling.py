@@ -1,0 +1,62 @@
+"""Tests for process-corner library scaling."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library.scaling import CORNERS, fast_hot_corner, scale_library, slow_cold_corner
+
+
+class TestScaleLibrary:
+    def test_factors_applied(self, library):
+        scaled = scale_library(
+            library, leakage_factor=2.0, delay_factor=1.5, current_factor=0.5
+        )
+        base = library.cell("NAND2")
+        cell = scaled.cell("NAND2")
+        assert cell.leakage_na_max == pytest.approx(base.leakage_na_max * 2.0)
+        assert cell.delay_ns == pytest.approx(base.delay_ns * 1.5)
+        assert cell.peak_current_ma == pytest.approx(base.peak_current_ma * 0.5)
+        # Corner-invariant fields untouched.
+        assert cell.rail_cap_ff == base.rail_cap_ff
+        assert cell.area == base.area
+
+    def test_identity_scaling(self, library):
+        scaled = scale_library(library)
+        assert scaled.cell("NOT") == library.cell("NOT").__class__(
+            **{**library.cell("NOT").__dict__}
+        )
+
+    def test_invalid_factors(self, library):
+        with pytest.raises(LibraryError):
+            scale_library(library, leakage_factor=0.0)
+        with pytest.raises(LibraryError):
+            scale_library(library, delay_factor=-1.0)
+
+    def test_name_derived(self, library):
+        assert scale_library(library).name.endswith("-scaled")
+        assert scale_library(library, name="custom").name == "custom"
+
+
+class TestCorners:
+    def test_fast_hot_leaks_more(self, library):
+        corner = fast_hot_corner(library)
+        assert corner.mean_leakage_na() > 4 * library.mean_leakage_na()
+        assert corner.mean_delay_ns() < library.mean_delay_ns()
+
+    def test_slow_cold_slower(self, library):
+        corner = slow_cold_corner(library)
+        assert corner.mean_delay_ns() > library.mean_delay_ns()
+        assert corner.mean_leakage_na() < library.mean_leakage_na()
+
+    def test_corner_registry(self, library):
+        assert set(CORNERS) == {"nominal", "ff-hot", "ss-cold"}
+        assert CORNERS["nominal"](library) is library
+
+    def test_corner_tightens_discriminability(self, small_circuit, library):
+        """A partition feasible at nominal can violate discriminability
+        at the fast-hot corner — the margin the flow must budget for."""
+        from repro.partition.evaluator import PartitionEvaluator
+
+        nominal = PartitionEvaluator(small_circuit, library=library)
+        hot = PartitionEvaluator(small_circuit, library=fast_hot_corner(library))
+        assert hot.min_feasible_modules() >= nominal.min_feasible_modules()

@@ -1,0 +1,89 @@
+"""Tests for the Figure 2 wave array."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.transition_times import times_from_mask, transition_time_masks
+from repro.faultsim.logic_sim import LogicSimulator
+from repro.netlist.arrays import WaveArray, wave_array
+
+
+class TestStructure:
+    def test_dimensions(self):
+        array = wave_array(4, 6)
+        assert array.rows == 4
+        assert array.cols == 6
+        assert len(array.circuit.output_names) == 4
+
+    def test_cells_cover_all_gates(self):
+        array = wave_array(3, 5)
+        covered = {name for gates in array.cells.values() for name in gates}
+        assert covered == set(array.circuit.gate_names)
+
+    def test_cells_disjoint(self):
+        array = wave_array(3, 4)
+        seen = set()
+        for gates in array.cells.values():
+            for name in gates:
+                assert name not in seen
+                seen.add(name)
+
+    def test_cell_types_cycle(self):
+        assert WaveArray.cell_type(0) == "C1"
+        assert WaveArray.cell_type(1) == "C2"
+        assert WaveArray.cell_type(2) == "C3"
+        assert WaveArray.cell_type(3) == "C1"
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            wave_array(0, 3)
+
+
+class TestTiming:
+    def test_cell_transition_slots_are_exact(self):
+        """Every gate of cell (i, j) transitions only in {2j+1, 2j+2} —
+        the property the Figure 2 experiment rests on."""
+        array = wave_array(3, 5)
+        masks = transition_time_masks(array.circuit)
+        for (row, col), gates in array.cells.items():
+            allowed = {2 * col + 1, 2 * col + 2}
+            for name in gates:
+                times = set(times_from_mask(masks[name]))
+                assert times <= allowed, (row, col, name, times)
+
+    def test_column_cells_synchronized_row_cells_staggered(self):
+        array = wave_array(4, 4)
+        masks = transition_time_masks(array.circuit)
+
+        def cell_times(row, col):
+            out = set()
+            for name in array.cells[(row, col)]:
+                out |= set(times_from_mask(masks[name]))
+            return out
+
+        # Same column: identical slots across rows.
+        for col in range(4):
+            reference = cell_times(0, col)
+            for row in range(1, 4):
+                assert cell_times(row, col) == reference
+        # Same row: pairwise disjoint slots across columns.
+        for row in range(4):
+            for c1 in range(4):
+                for c2 in range(c1 + 1, 4):
+                    assert not (cell_times(row, c1) & cell_times(row, c2))
+
+
+class TestLogic:
+    def test_pipeline_is_deterministic_and_row_local(self):
+        """Changing one row's data input only affects that row's output."""
+        array = wave_array(3, 6)
+        sim = LogicSimulator(array.circuit)
+        inputs = array.circuit.input_names
+        base = np.zeros((1, len(inputs)), dtype=np.uint8)
+        flipped = base.copy()
+        d1 = inputs.index("d1")
+        flipped[0, d1] = 1
+        out_base = sim.simulate_outputs(base)[0]
+        out_flip = sim.simulate_outputs(flipped)[0]
+        differences = [k for k in range(3) if out_base[k] != out_flip[k]]
+        assert differences == [1]

@@ -1,0 +1,63 @@
+"""Unit tests for CircuitBuilder."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.gate import GateType
+
+
+class TestBuilder:
+    def test_fluent_build(self):
+        circuit = (
+            CircuitBuilder("t")
+            .input("a")
+            .input("b")
+            .gate("g", GateType.AND, ["a", "b"])
+            .output("g")
+            .build()
+        )
+        assert len(circuit) == 1
+        assert circuit.output_names == ("g",)
+
+    def test_gate_type_from_string(self):
+        builder = CircuitBuilder("t").input("a").gate("g", "not", ["a"])
+        assert builder._gates["g"].gate_type is GateType.NOT
+
+    def test_duplicate_rejected_eagerly(self):
+        builder = CircuitBuilder("t").input("a")
+        with pytest.raises(NetlistError, match="already defined"):
+            builder.input("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            CircuitBuilder("")
+
+    def test_forward_references_allowed(self):
+        # A gate may reference a fanin defined later, as in .bench files.
+        circuit = (
+            CircuitBuilder("t")
+            .input("a")
+            .gate("g2", GateType.NOT, ["g1"])
+            .gate("g1", GateType.NOT, ["a"])
+            .output("g2")
+            .build()
+        )
+        assert circuit.levels["g2"] == 2
+
+    def test_fresh_name(self):
+        builder = CircuitBuilder("t").input("x")
+        assert builder.fresh_name("y") == "y"
+        assert builder.fresh_name("x") == "x_1"
+        builder.input("x_1")
+        assert builder.fresh_name("x") == "x_2"
+
+    def test_contains_and_len(self):
+        builder = CircuitBuilder("t").input("a")
+        assert "a" in builder
+        assert len(builder) == 1
+
+    def test_missing_fanin_caught_at_build(self):
+        builder = CircuitBuilder("t").input("a").gate("g", GateType.NOT, ["zz"]).output("g")
+        with pytest.raises(NetlistError, match="undefined fanin"):
+            builder.build()

@@ -1,0 +1,113 @@
+"""Unit tests for gate primitives."""
+
+import pytest
+
+from repro.netlist.gate import GATE_ARITY, Gate, GateType, evaluate_gate
+
+
+class TestGateType:
+    def test_input_is_input(self):
+        assert GateType.INPUT.is_input
+        assert not GateType.NAND.is_input
+
+    @pytest.mark.parametrize(
+        "gate_type", [GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR]
+    )
+    def test_inverting_types(self, gate_type):
+        assert gate_type.is_inverting
+
+    @pytest.mark.parametrize(
+        "gate_type", [GateType.BUF, GateType.AND, GateType.OR, GateType.XOR]
+    )
+    def test_non_inverting_types(self, gate_type):
+        assert not gate_type.is_inverting
+
+    def test_arity_bounds(self):
+        assert GateType.INPUT.min_arity == 0
+        assert GateType.INPUT.max_arity == 0
+        assert GateType.NOT.min_arity == 1
+        assert GateType.NOT.max_arity == 1
+        assert GateType.AND.min_arity == 2
+        assert GateType.AND.max_arity is None
+
+
+class TestEvaluateGate:
+    @pytest.mark.parametrize(
+        "gate_type,inputs,expected",
+        [
+            (GateType.BUF, [0], 0),
+            (GateType.BUF, [1], 1),
+            (GateType.NOT, [0], 1),
+            (GateType.NOT, [1], 0),
+            (GateType.AND, [1, 1], 1),
+            (GateType.AND, [1, 0], 0),
+            (GateType.NAND, [1, 1], 0),
+            (GateType.NAND, [0, 1], 1),
+            (GateType.OR, [0, 0], 0),
+            (GateType.OR, [0, 1], 1),
+            (GateType.NOR, [0, 0], 1),
+            (GateType.NOR, [1, 0], 0),
+            (GateType.XOR, [1, 0], 1),
+            (GateType.XOR, [1, 1], 0),
+            (GateType.XNOR, [1, 1], 1),
+            (GateType.XNOR, [1, 0], 0),
+        ],
+    )
+    def test_two_valued_truth_tables(self, gate_type, inputs, expected):
+        assert evaluate_gate(gate_type, inputs) == expected
+
+    def test_wide_gates(self):
+        assert evaluate_gate(GateType.AND, [1] * 7) == 1
+        assert evaluate_gate(GateType.AND, [1] * 6 + [0]) == 0
+        assert evaluate_gate(GateType.XOR, [1, 1, 1]) == 1
+        assert evaluate_gate(GateType.XNOR, [1, 1, 1, 1]) == 1
+        assert evaluate_gate(GateType.NOR, [0, 0, 0, 0, 0]) == 1
+
+    def test_arity_violation_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.NOT, [0, 1])
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.AND, [1])
+
+    def test_input_pseudo_gate_rejects_evaluation(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, [])
+
+    def test_every_type_has_arity_entry(self):
+        for gate_type in GateType:
+            assert gate_type in GATE_ARITY
+
+
+class TestGate:
+    def test_valid_gate(self):
+        gate = Gate("n1", GateType.NAND, ("a", "b"))
+        assert gate.arity == 2
+        assert gate.default_cell_name() == "NAND2"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("", GateType.NOT, ("a",))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("n1", GateType.NOT, ("a", "b"))
+        with pytest.raises(ValueError):
+            Gate("n1", GateType.AND, ("a",))
+
+    def test_duplicate_fanins_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("n1", GateType.AND, ("a", "a"))
+
+    def test_input_gate_has_no_fanins(self):
+        gate = Gate("pi", GateType.INPUT)
+        assert gate.arity == 0
+        assert gate.default_cell_name() == "INPUT"
+
+    def test_default_cell_names(self):
+        assert Gate("x", GateType.NOT, ("a",)).default_cell_name() == "NOT"
+        assert Gate("x", GateType.BUF, ("a",)).default_cell_name() == "BUF"
+        assert Gate("x", GateType.OR, ("a", "b", "c")).default_cell_name() == "OR3"
+
+    def test_explicit_cell_binding_kept(self):
+        gate = Gate("x", GateType.NAND, ("a", "b"), cell="NAND2_HP")
+        assert gate.cell == "NAND2_HP"

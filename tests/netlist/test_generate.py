@@ -1,0 +1,93 @@
+"""Tests for the synthetic ISCAS-like generator."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.generate import DEFAULT_TYPE_MIX, GeneratorConfig, generate_iscas_like
+from repro.netlist.validate import check_circuit
+
+
+def make(num_gates=200, num_inputs=20, num_outputs=10, depth=12, seed=5, **kw):
+    return generate_iscas_like(
+        GeneratorConfig(
+            name="gen",
+            num_gates=num_gates,
+            num_inputs=num_inputs,
+            num_outputs=num_outputs,
+            depth=depth,
+            seed=seed,
+            **kw,
+        )
+    )
+
+
+class TestProfileMatching:
+    def test_gate_count_exact(self):
+        circuit = make(num_gates=321)
+        assert len(circuit.gate_names) == 321
+
+    def test_input_count_exact(self):
+        circuit = make(num_inputs=33)
+        assert len(circuit.input_names) == 33
+
+    def test_depth_exact(self):
+        for depth in (3, 7, 15):
+            assert make(depth=depth).depth == depth
+
+    def test_output_count_at_least_requested(self):
+        circuit = make(num_outputs=10)
+        assert len(circuit.output_names) >= 10
+        # and not wildly more (sink absorption keeps dangling rare)
+        assert len(circuit.output_names) <= 10 + len(circuit.gate_names) // 4
+
+    def test_determinism(self):
+        a = make(seed=99)
+        b = make(seed=99)
+        assert a.gate_names == b.gate_names
+        for name in a.gate_names:
+            assert a.gate(name).fanins == b.gate(name).fanins
+
+    def test_seeds_differ(self):
+        a = make(seed=1)
+        b = make(seed=2)
+        fanins_a = [a.gate(n).fanins for n in a.gate_names]
+        fanins_b = [b.gate(n).fanins for n in b.gate_names]
+        assert fanins_a != fanins_b
+
+
+class TestStructuralQuality:
+    def test_no_dangling_gates(self):
+        issues = check_circuit(make())
+        assert not issues.dangling_gates
+
+    def test_no_unused_inputs_on_typical_profiles(self):
+        issues = check_circuit(make(num_inputs=10))
+        assert not issues.unused_inputs
+
+    def test_max_arity_bounded(self):
+        circuit = make(num_gates=500, depth=20)
+        assert circuit.stats().max_fanin <= 9
+
+    def test_type_mix_is_respected_roughly(self):
+        circuit = make(num_gates=1000, depth=20, seed=3)
+        counts = circuit.stats().type_counts
+        nand_fraction = counts.get("NAND", 0) / 1000
+        expected = DEFAULT_TYPE_MIX
+        # Within loose bounds: inverter fixups shift the mix a little.
+        from repro.netlist.gate import GateType
+
+        assert abs(nand_fraction - expected[GateType.NAND]) < 0.15
+
+
+class TestValidation:
+    def test_too_few_gates_rejected(self):
+        with pytest.raises(NetlistError):
+            GeneratorConfig(name="x", num_gates=1, num_inputs=1, num_outputs=1, depth=1)
+
+    def test_depth_exceeding_gates_rejected(self):
+        with pytest.raises(NetlistError):
+            GeneratorConfig(name="x", num_gates=5, num_inputs=2, num_outputs=1, depth=6)
+
+    def test_zero_io_rejected(self):
+        with pytest.raises(NetlistError):
+            GeneratorConfig(name="x", num_gates=5, num_inputs=0, num_outputs=1, depth=2)

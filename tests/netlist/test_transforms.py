@@ -1,0 +1,146 @@
+"""Tests for the structural netlist transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.faultsim.logic_sim import LogicSimulator
+from repro.faultsim.patterns import random_patterns
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.gate import GateType
+from repro.netlist.generate import GeneratorConfig, generate_iscas_like
+from repro.netlist.transforms import buffer_high_fanout, extract_subcircuit, sweep_buffers
+from repro.netlist.validate import check_circuit
+
+
+def equivalent(a, b, seed=0, count=128):
+    """Random-simulation equivalence on the shared interface."""
+    assert a.input_names == b.input_names
+    assert a.output_names == b.output_names
+    patterns = random_patterns(len(a.input_names), count, seed=seed)
+    out_a = LogicSimulator(a).simulate_outputs(patterns)
+    out_b = LogicSimulator(b).simulate_outputs(patterns)
+    return bool((out_a == out_b).all())
+
+
+def high_fanout_circuit(fanout: int):
+    builder = CircuitBuilder("hf").input("a").input("b")
+    builder.gate("src", GateType.AND, ["a", "b"])
+    for i in range(fanout):
+        builder.gate(f"sink{i}", GateType.NOT, ["src"])
+        builder.output(f"sink{i}")
+    return builder.build()
+
+
+class TestBufferHighFanout:
+    def test_fanout_legalised(self):
+        circuit = high_fanout_circuit(20)
+        legal = buffer_high_fanout(circuit, max_fanout=8)
+        for name in legal.all_names:
+            taps = len(legal.fanouts[name]) + (1 if name in legal.output_names else 0)
+            assert taps <= 8, name
+
+    def test_function_preserved(self):
+        circuit = high_fanout_circuit(20)
+        legal = buffer_high_fanout(circuit, max_fanout=8)
+        assert equivalent(circuit, legal)
+
+    def test_untouched_when_legal(self, c17_circuit):
+        assert buffer_high_fanout(c17_circuit, max_fanout=8) is c17_circuit
+
+    def test_invalid_limit(self, c17_circuit):
+        with pytest.raises(NetlistError):
+            buffer_high_fanout(c17_circuit, max_fanout=1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5000), limit=st.integers(3, 6))
+    def test_property_on_generated(self, seed, limit):
+        circuit = generate_iscas_like(
+            GeneratorConfig(
+                name="hf",
+                num_gates=60,
+                num_inputs=6,
+                num_outputs=4,
+                depth=6,
+                seed=seed,
+            )
+        )
+        legal = buffer_high_fanout(circuit, max_fanout=limit)
+        for name in legal.all_names:
+            taps = len(legal.fanouts[name]) + (1 if name in legal.output_names else 0)
+            assert taps <= limit
+        assert equivalent(circuit, legal, seed=seed)
+
+
+class TestSweepBuffers:
+    def test_removes_internal_buffers(self):
+        builder = CircuitBuilder("sb").input("a")
+        builder.gate("b1", GateType.BUF, ["a"])
+        builder.gate("b2", GateType.BUF, ["b1"])
+        builder.gate("g", GateType.NOT, ["b2"])
+        circuit = builder.output("g").build()
+        swept = sweep_buffers(circuit)
+        assert "b1" not in swept.all_names
+        assert "b2" not in swept.all_names
+        assert swept.gate("g").fanins == ("a",)
+        assert equivalent(circuit, swept)
+
+    def test_output_buffers_kept(self):
+        builder = CircuitBuilder("sb").input("a")
+        builder.gate("ob", GateType.BUF, ["a"])
+        circuit = builder.output("ob").build()
+        swept = sweep_buffers(circuit)
+        assert "ob" in swept.all_names
+
+    def test_multiplier_buffers_swept(self):
+        from repro.netlist.multiplier import array_multiplier
+
+        circuit = array_multiplier(4).circuit
+        swept = sweep_buffers(circuit, keep_outputs=True)
+        # The out* buffers are outputs (kept); no other BUFs exist.
+        assert len(swept.gate_names) == len(circuit.gate_names)
+
+
+class TestExtractSubcircuit:
+    def test_module_extraction_interface(self, c17_paper):
+        sub = extract_subcircuit(c17_paper, {"g1", "g3", "O2"}, name="m0")
+        # Cut nets: I1, I2, I3 (g1, g3 inputs) and g2 (g3's fanin).
+        assert set(sub.input_names) == {"I1", "I2", "I3", "g2"}
+        assert set(sub.gate_names) == {"g1", "g3", "O2"}
+        assert "O2" in sub.output_names
+
+    def test_extract_preserves_local_function(self, c17_paper):
+        sub = extract_subcircuit(c17_paper, {"g1", "g3", "O2"})
+        patterns = random_patterns(len(sub.input_names), 16, seed=1)
+        values = LogicSimulator(sub).simulate(patterns)
+        # O2 = NAND(g1, g3) with g1 = NAND(I1, I3), g3 = NAND(I2, g2):
+        order = sub.input_names
+        for p in range(16):
+            bits = dict(zip(order, patterns[p]))
+            g1 = 1 - (bits["I1"] & bits["I3"])
+            g3 = 1 - (bits["I2"] & bits["g2"])
+            assert values.value("O2", p) == 1 - (g1 & g3)
+
+    def test_internal_gate_with_outside_sink_is_output(self, c17_paper):
+        sub = extract_subcircuit(c17_paper, {"g2", "g3"})
+        # g2 drives g4 outside; g3 drives O2/O3 outside.
+        assert set(sub.output_names) == {"g2", "g3"}
+
+    def test_errors(self, c17_paper):
+        with pytest.raises(NetlistError):
+            extract_subcircuit(c17_paper, set())
+        with pytest.raises(NetlistError):
+            extract_subcircuit(c17_paper, {"zzz"})
+
+    def test_partition_modules_all_extractable(self, small_circuit, small_evaluator, rng):
+        from repro.optimize.start import chain_start_partition
+
+        partition = chain_start_partition(small_evaluator, 4, rng)
+        names = small_circuit.gate_names
+        for module in partition.module_ids:
+            gates = {names[g] for g in partition.gates_of(module)}
+            sub = extract_subcircuit(small_circuit, gates)
+            assert len(sub.gate_names) == len(gates)
+            assert check_circuit(sub).dangling_gates == []

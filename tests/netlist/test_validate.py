@@ -1,0 +1,62 @@
+"""Tests for the structural lint checks."""
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.gate import GateType
+from repro.netlist.validate import check_circuit
+
+
+def test_clean_circuit(c17_circuit):
+    issues = check_circuit(c17_circuit)
+    assert issues.clean
+    assert issues.summary() == "clean"
+
+
+def test_dangling_gate_detected():
+    circuit = (
+        CircuitBuilder("t")
+        .input("a")
+        .gate("used", GateType.NOT, ["a"])
+        .gate("dangling", GateType.BUF, ["a"])
+        .output("used")
+        .build()
+    )
+    issues = check_circuit(circuit)
+    assert issues.dangling_gates == ["dangling"]
+    assert "1 dangling" in issues.summary()
+
+
+def test_unused_input_detected():
+    circuit = (
+        CircuitBuilder("t")
+        .input("a")
+        .input("unused")
+        .gate("g", GateType.NOT, ["a"])
+        .output("g")
+        .build()
+    )
+    issues = check_circuit(circuit)
+    assert issues.unused_inputs == ["unused"]
+
+
+def test_degenerate_gate_through_buffers_detected():
+    circuit = (
+        CircuitBuilder("t")
+        .input("a")
+        .gate("b1", GateType.BUF, ["a"])
+        .gate("x", GateType.XOR, ["a", "b1"])  # XOR(a, a) in disguise
+        .output("x")
+        .build()
+    )
+    issues = check_circuit(circuit)
+    assert issues.constant_candidates == ["x"]
+
+
+def test_output_gate_is_not_dangling():
+    circuit = (
+        CircuitBuilder("t")
+        .input("a")
+        .gate("g", GateType.NOT, ["a"])
+        .output("g")
+        .build()
+    )
+    assert check_circuit(circuit).clean

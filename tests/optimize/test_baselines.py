@@ -1,0 +1,77 @@
+"""Tests for annealing, random search and greedy refinement."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.annealing import AnnealingParams, anneal_partition
+from repro.optimize.greedy import greedy_refine
+from repro.optimize.random_search import random_partition, random_search_partition
+from repro.optimize.start import chain_start_partition
+
+
+class TestAnnealing:
+    @pytest.fixture(scope="class")
+    def quick_sa(self):
+        return AnnealingParams(
+            initial_temperature=20.0,
+            cooling=0.7,
+            steps_per_temperature=10,
+            min_temperature=0.1,
+        )
+
+    def test_produces_valid_partition(self, small_evaluator, quick_sa):
+        result = anneal_partition(small_evaluator, quick_sa, seed=1)
+        result.best.partition.check_invariants()
+        assert result.optimizer == "annealing"
+        assert result.evaluations > 1
+
+    def test_improves_or_holds_from_start(self, small_evaluator, quick_sa, rng):
+        start = chain_start_partition(small_evaluator, 4, rng)
+        start_cost = small_evaluator.new_state(start).penalized_cost(quick_sa.penalty)
+        result = anneal_partition(small_evaluator, quick_sa, seed=2, start=start)
+        assert result.best_cost <= start_cost + 1e-9
+
+    def test_param_validation(self):
+        with pytest.raises(OptimizationError):
+            AnnealingParams(cooling=1.5)
+        with pytest.raises(OptimizationError):
+            AnnealingParams(initial_temperature=0.0001, min_temperature=1.0)
+        with pytest.raises(OptimizationError):
+            AnnealingParams(steps_per_temperature=0)
+
+
+class TestRandomSearch:
+    def test_balanced_random_partition(self, small_evaluator, rng):
+        partition = random_partition(small_evaluator, 5, rng)
+        assert partition.num_modules == 5
+        sizes = [partition.module_size(m) for m in partition.module_ids]
+        assert max(sizes) - min(sizes) <= 1
+        partition.check_invariants()
+
+    def test_search_keeps_best(self, small_evaluator):
+        result = random_search_partition(small_evaluator, samples=20, seed=3)
+        assert result.evaluations == 20
+        assert result.history
+        best_seen = [record.best_cost for record in result.history]
+        assert all(b <= a + 1e-12 for a, b in zip(best_seen, best_seen[1:]))
+
+    def test_zero_samples_rejected(self, small_evaluator):
+        with pytest.raises(OptimizationError):
+            random_search_partition(small_evaluator, samples=0)
+
+
+class TestGreedy:
+    def test_never_worse_than_start(self, small_evaluator, rng):
+        start = chain_start_partition(small_evaluator, 3, rng)
+        start_cost = small_evaluator.new_state(start).penalized_cost(1e4)
+        result = greedy_refine(small_evaluator, start, max_passes=5)
+        assert result.best_cost <= start_cost + 1e-9
+        result.best.partition.check_invariants()
+
+    def test_terminates_at_local_minimum(self, c17_evaluator, rng):
+        start = chain_start_partition(c17_evaluator, 2, rng)
+        result = greedy_refine(c17_evaluator, start, max_passes=50)
+        # Re-running from the result must find no improving move.
+        again = greedy_refine(c17_evaluator, result.best.partition, max_passes=50)
+        assert again.generations_run == 0
+        assert again.best_cost == pytest.approx(result.best_cost)

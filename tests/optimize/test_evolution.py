@@ -1,0 +1,114 @@
+"""Tests for the evolution strategy."""
+
+import random
+
+import pytest
+
+from repro.config import EvolutionParams
+from repro.optimize.evolution import EvolutionOptimizer, evolve_partition
+from repro.optimize.start import start_population
+
+
+class TestBasicRun:
+    def test_produces_feasible_result(self, small_evaluator, quick_es_params):
+        result = evolve_partition(small_evaluator, quick_es_params, seed=1)
+        assert result.feasible
+        assert result.best.partition.num_modules >= 1
+        result.best.partition.check_invariants()
+
+    def test_improves_over_start(self, small_evaluator, quick_es_params):
+        rng = random.Random(2)
+        starts = start_population(small_evaluator, 4, quick_es_params.mu, rng)
+        start_costs = [
+            small_evaluator.new_state(p).penalized_cost(quick_es_params.penalty)
+            for p in starts
+        ]
+        result = evolve_partition(
+            small_evaluator, quick_es_params, seed=2, starts=starts
+        )
+        assert result.best_cost <= min(start_costs) + 1e-9
+
+    def test_seed_reproducibility(self, small_evaluator, quick_es_params):
+        a = evolve_partition(small_evaluator, quick_es_params, seed=7)
+        b = evolve_partition(small_evaluator, quick_es_params, seed=7)
+        assert a.best_cost == pytest.approx(b.best_cost)
+        assert a.best.partition.canonical() == b.best.partition.canonical()
+
+    def test_history_best_monotone(self, small_evaluator, quick_es_params):
+        result = evolve_partition(small_evaluator, quick_es_params, seed=3)
+        costs = [record.best_cost for record in result.history]
+        assert all(b <= a + 1e-12 for a, b in zip(costs, costs[1:]))
+
+    def test_counts_evaluations(self, small_evaluator, quick_es_params):
+        result = evolve_partition(small_evaluator, quick_es_params, seed=4)
+        per_generation = quick_es_params.mu * (
+            quick_es_params.children_per_parent + quick_es_params.monte_carlo_per_parent
+        )
+        assert result.evaluations >= result.generations_run * per_generation
+
+
+class TestConvergence:
+    def test_early_stop_flag(self, c17_evaluator):
+        params = EvolutionParams(
+            mu=3,
+            children_per_parent=2,
+            monte_carlo_per_parent=1,
+            generations=200,
+            convergence_window=5,
+        )
+        result = evolve_partition(c17_evaluator, params, seed=5)
+        assert result.converged
+        assert result.generations_run < 200
+
+    def test_generation_budget_respected(self, small_evaluator):
+        params = EvolutionParams(
+            mu=2,
+            children_per_parent=2,
+            monte_carlo_per_parent=0,
+            generations=4,
+            convergence_window=50,
+        )
+        result = evolve_partition(small_evaluator, params, seed=6)
+        assert result.generations_run == 4
+        assert not result.converged
+
+
+class TestOperators:
+    def test_explicit_starts_used(self, c17_evaluator, c17_paper, quick_es_params):
+        from repro.partition.partition import Partition
+
+        starts = [
+            Partition.from_groups(c17_paper, [{"g1", "g3", "O2"}, {"g2", "g4", "O3"}])
+        ]
+        result = evolve_partition(
+            c17_evaluator, quick_es_params, seed=8, starts=starts
+        )
+        # With the generic technology, merging into one module is optimal
+        # for 6 gates; the ES must discover that via MC children.
+        assert result.best.num_modules == 1
+
+    def test_empty_starts_rejected(self, c17_evaluator, quick_es_params):
+        from repro.errors import OptimizationError
+
+        optimizer = EvolutionOptimizer(c17_evaluator, quick_es_params, seed=1)
+        with pytest.raises(OptimizationError):
+            optimizer.run([])
+
+    def test_monte_carlo_disabled_still_works(self, small_evaluator):
+        params = EvolutionParams(
+            mu=3,
+            children_per_parent=2,
+            monte_carlo_per_parent=0,
+            generations=10,
+            convergence_window=10,
+        )
+        result = evolve_partition(small_evaluator, params, seed=9)
+        assert result.feasible
+
+
+class TestResultObject:
+    def test_summary_renders(self, small_evaluator, quick_es_params):
+        result = evolve_partition(small_evaluator, quick_es_params, seed=10)
+        text = result.summary()
+        assert "evolution" in text
+        assert "cost=" in text

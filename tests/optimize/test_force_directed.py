@@ -1,0 +1,59 @@
+"""Tests for the force-directed partitioning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.force_directed import force_directed_partition
+from repro.optimize.random_search import random_partition
+
+
+class TestForceDirected:
+    def test_valid_result(self, small_evaluator):
+        result = force_directed_partition(small_evaluator, num_modules=4, seed=1)
+        result.best.partition.check_invariants()
+        assert result.optimizer == "force-directed"
+        assert result.generations_run >= 1
+
+    def test_reduces_separation_from_random_start(self, small_evaluator, rng):
+        start = random_partition(small_evaluator, 4, rng)
+        sep = small_evaluator.separation
+
+        def total(partition):
+            return sum(
+                sep.module_sum(np.fromiter(partition.gates_of(m), dtype=np.int64))
+                for m in partition.module_ids
+            )
+
+        before = total(start)
+        result = force_directed_partition(small_evaluator, seed=2, start=start)
+        after = total(result.best.partition)
+        assert after < before
+
+    def test_balance_band_respected(self, small_evaluator, rng):
+        start = random_partition(small_evaluator, 4, rng)
+        slack = 0.25
+        result = force_directed_partition(
+            small_evaluator, seed=3, start=start, balance_slack=slack
+        )
+        n = len(small_evaluator.circuit.gate_names)
+        average = n / 4
+        for module in result.best.partition.module_ids:
+            size = result.best.partition.module_size(module)
+            assert size >= max(1, int(average * (1 - slack)))
+
+    def test_keeps_module_count(self, small_evaluator, rng):
+        start = random_partition(small_evaluator, 5, rng)
+        result = force_directed_partition(small_evaluator, seed=4, start=start)
+        assert result.best.partition.num_modules == 5
+
+    def test_param_validation(self, small_evaluator):
+        with pytest.raises(OptimizationError):
+            force_directed_partition(small_evaluator, seed=1, max_sweeps=0)
+        with pytest.raises(OptimizationError):
+            force_directed_partition(small_evaluator, seed=1, balance_slack=1.5)
+
+    def test_deterministic(self, small_evaluator):
+        a = force_directed_partition(small_evaluator, num_modules=3, seed=7)
+        b = force_directed_partition(small_evaluator, num_modules=3, seed=7)
+        assert a.best.partition.canonical() == b.best.partition.canonical()

@@ -1,0 +1,54 @@
+"""Tests for KL-style refinement."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.kl import kl_refine
+from repro.optimize.random_search import random_partition
+from repro.optimize.start import chain_start_partition
+
+
+class TestKLRefine:
+    def test_never_worse(self, small_evaluator, rng):
+        start = random_partition(small_evaluator, 4, rng)
+        start_cost = small_evaluator.new_state(start).penalized_cost(1e4)
+        result = kl_refine(small_evaluator, start, seed=1)
+        assert result.best_cost <= start_cost + 1e-9
+        result.best.partition.check_invariants()
+
+    def test_preserves_module_sizes(self, small_evaluator, rng):
+        start = chain_start_partition(small_evaluator, 4, rng)
+        sizes_before = sorted(start.module_size(m) for m in start.module_ids)
+        result = kl_refine(small_evaluator, start, seed=2)
+        sizes_after = sorted(
+            result.best.partition.module_size(m)
+            for m in result.best.partition.module_ids
+        )
+        assert sizes_after == sizes_before
+
+    def test_improves_random_start(self, small_evaluator, rng):
+        start = random_partition(small_evaluator, 3, rng)
+        start_cost = small_evaluator.new_state(start).penalized_cost(1e4)
+        result = kl_refine(small_evaluator, start, seed=3, max_passes=4,
+                           candidate_swaps=96)
+        assert result.best_cost < start_cost
+
+    def test_params_validated(self, small_evaluator, rng):
+        start = chain_start_partition(small_evaluator, 3, rng)
+        with pytest.raises(OptimizationError):
+            kl_refine(small_evaluator, start, max_passes=0)
+        with pytest.raises(OptimizationError):
+            kl_refine(small_evaluator, start, candidate_swaps=0)
+
+    def test_single_module_noop(self, c17_evaluator, c17_paper):
+        from repro.partition.partition import Partition
+
+        start = Partition.single_module(c17_paper)
+        result = kl_refine(c17_evaluator, start, seed=4)
+        assert result.best.partition.num_modules == 1
+
+    def test_deterministic(self, small_evaluator, rng):
+        start = chain_start_partition(small_evaluator, 4, rng)
+        a = kl_refine(small_evaluator, start, seed=7)
+        b = kl_refine(small_evaluator, start, seed=7)
+        assert a.best_cost == pytest.approx(b.best_cost)

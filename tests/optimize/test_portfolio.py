@@ -1,0 +1,92 @@
+"""Tests for the optimiser portfolio and the compare flow."""
+
+import pytest
+
+from repro.config import EvolutionParams, SynthesisConfig
+from repro.errors import OptimizationError
+from repro.flow.compare import compare_methods
+from repro.optimize.annealing import AnnealingParams
+from repro.optimize.evolution import evolve_partition
+from repro.optimize.portfolio import portfolio_partition
+
+QUICK_ES = EvolutionParams(
+    mu=3,
+    children_per_parent=2,
+    monte_carlo_per_parent=1,
+    generations=10,
+    convergence_window=10,
+)
+QUICK_SA = AnnealingParams(
+    initial_temperature=10.0,
+    cooling=0.6,
+    steps_per_temperature=8,
+    min_temperature=0.5,
+)
+
+
+class TestPortfolio:
+    def test_never_worse_than_evolution_alone(self, small_evaluator):
+        solo = evolve_partition(small_evaluator, QUICK_ES, seed=3)
+        best = portfolio_partition(
+            small_evaluator,
+            evolution_params=QUICK_ES,
+            annealing_params=QUICK_SA,
+            seed=3,
+        )
+        assert best.feasible
+        assert best.best_cost <= solo.best_cost + 1e-9
+
+    def test_accounts_all_evaluations(self, small_evaluator):
+        best = portfolio_partition(
+            small_evaluator,
+            evolution_params=QUICK_ES,
+            annealing_params=QUICK_SA,
+            seed=4,
+        )
+        solo = evolve_partition(small_evaluator, QUICK_ES, seed=4)
+        assert best.evaluations > solo.evaluations
+
+    def test_infeasible_raises(self, c17_paper):
+        import dataclasses
+
+        from repro.library.default_lib import generic_technology
+        from repro.partition.evaluator import PartitionEvaluator
+
+        impossible = dataclasses.replace(generic_technology(), iddq_threshold_ua=1e-4)
+        evaluator = PartitionEvaluator(c17_paper, technology=impossible)
+        with pytest.raises(OptimizationError, match="no feasible"):
+            portfolio_partition(
+                evaluator,
+                evolution_params=QUICK_ES,
+                annealing_params=QUICK_SA,
+                seed=1,
+            )
+
+
+class TestCompareFlow:
+    def test_compare_methods(self, small_evaluator, small_circuit):
+        comparison = compare_methods(
+            small_circuit,
+            config=SynthesisConfig(evolution=QUICK_ES),
+            seed=2,
+            evaluator=small_evaluator,
+        )
+        assert comparison.evolution.num_modules == comparison.standard.num_modules
+        text = comparison.render()
+        assert "evolution (paper §4)" in text
+        assert "standard (paper §5)" in text
+        assert "%" in text
+
+    def test_overhead_sign_convention(self, small_evaluator, small_circuit):
+        comparison = compare_methods(
+            small_circuit,
+            config=SynthesisConfig(evolution=QUICK_ES),
+            seed=2,
+            evaluator=small_evaluator,
+        )
+        expected = 100 * (
+            comparison.standard.sensor_area_total
+            / comparison.evolution.sensor_area_total
+            - 1
+        )
+        assert comparison.area_overhead_pct == pytest.approx(expected)

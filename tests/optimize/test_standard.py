@@ -1,0 +1,63 @@
+"""Tests for the §5 standard partitioning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.standard import standard_partition
+
+
+class TestStandardPartition:
+    def test_module_count_and_cover(self, small_evaluator):
+        partition = standard_partition(small_evaluator, 4)
+        assert partition.num_modules == 4
+        partition.check_invariants()
+
+    def test_deterministic(self, small_evaluator):
+        p1 = standard_partition(small_evaluator, 3)
+        p2 = standard_partition(small_evaluator, 3)
+        assert p1.canonical() == p2.canonical()
+
+    def test_balanced_sizes(self, small_evaluator):
+        partition = standard_partition(small_evaluator, 5)
+        sizes = sorted(partition.module_size(m) for m in partition.module_ids)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_seed_near_primary_input(self, small_evaluator):
+        """The first module's seed is a minimum-level gate."""
+        partition = standard_partition(small_evaluator, 3)
+        circuit = small_evaluator.circuit
+        min_level = min(circuit.levels[n] for n in circuit.gate_names)
+        module0_levels = [
+            circuit.levels[circuit.gate_names[g]] for g in partition.gates_of(0)
+        ]
+        assert min(module0_levels) == min_level
+
+    def test_modules_tightly_connected(self, small_evaluator, rng):
+        """Standard modules must beat random ones on separation — that is
+        the baseline's whole design goal."""
+        from repro.optimize.random_search import random_partition
+
+        standard = standard_partition(small_evaluator, 4)
+        rand = random_partition(small_evaluator, 4, rng)
+        sep = small_evaluator.separation
+
+        def total(partition):
+            return sum(
+                sep.module_sum(np.fromiter(partition.gates_of(m), dtype=np.int64))
+                for m in partition.module_ids
+            )
+
+        assert total(standard) < total(rand)
+
+    def test_invalid_module_count_rejected(self, small_evaluator):
+        with pytest.raises(OptimizationError):
+            standard_partition(small_evaluator, 0)
+        with pytest.raises(OptimizationError):
+            standard_partition(small_evaluator, 10_000)
+
+    def test_on_c17(self, c17_evaluator):
+        partition = standard_partition(c17_evaluator, 2)
+        assert partition.num_modules == 2
+        sizes = sorted(partition.module_size(m) for m in partition.module_ids)
+        assert sizes == [3, 3]

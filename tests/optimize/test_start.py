@@ -1,0 +1,81 @@
+"""Tests for module-count estimation and chain start partitions."""
+
+import random
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.start import (
+    chain_start_partition,
+    estimate_module_count,
+    start_population,
+)
+
+
+class TestEstimate:
+    def test_at_least_two(self, c17_evaluator):
+        assert estimate_module_count(c17_evaluator) >= 2
+
+    def test_scales_with_leakage(self, small_evaluator):
+        k = estimate_module_count(small_evaluator)
+        assert k >= small_evaluator.min_feasible_modules()
+
+    def test_margin_validated(self, small_evaluator):
+        with pytest.raises(OptimizationError):
+            estimate_module_count(small_evaluator, margin=0.5)
+
+    def test_never_exceeds_gate_count(self, c17_evaluator):
+        assert estimate_module_count(c17_evaluator, margin=100.0) <= 6
+
+
+class TestChainPartition:
+    def test_exact_module_count(self, small_evaluator, rng):
+        for k in (2, 3, 5, 8):
+            partition = chain_start_partition(small_evaluator, k, rng)
+            assert partition.num_modules == k
+            partition.check_invariants()
+
+    def test_balanced_sizes(self, small_evaluator, rng):
+        partition = chain_start_partition(small_evaluator, 4, rng)
+        sizes = [partition.module_size(m) for m in partition.module_ids]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_extreme_module_counts(self, c17_evaluator, rng):
+        all_singletons = chain_start_partition(c17_evaluator, 6, rng)
+        assert all_singletons.num_modules == 6
+        one = chain_start_partition(c17_evaluator, 1, rng)
+        assert one.num_modules == 1
+
+    def test_too_many_modules_rejected(self, c17_evaluator, rng):
+        with pytest.raises(OptimizationError):
+            chain_start_partition(c17_evaluator, 7, rng)
+
+    def test_chains_favour_connectivity(self, small_evaluator, rng):
+        """Chain modules should be much better connected than random
+        balanced modules (lower total separation)."""
+        from repro.optimize.random_search import random_partition
+
+        chain = chain_start_partition(small_evaluator, 4, rng)
+        rand = random_partition(small_evaluator, 4, rng)
+        sep = small_evaluator.separation
+
+        def total_separation(partition):
+            import numpy as np
+
+            return sum(
+                sep.module_sum(
+                    np.fromiter(partition.gates_of(m), dtype=np.int64)
+                )
+                for m in partition.module_ids
+            )
+
+        assert total_separation(chain) < total_separation(rand)
+
+
+class TestPopulation:
+    def test_population_size_and_diversity(self, small_evaluator):
+        rng = random.Random(5)
+        population = start_population(small_evaluator, 3, 6, rng)
+        assert len(population) == 6
+        canonical = {p.canonical() for p in population}
+        assert len(canonical) > 1  # different chains -> different partitions

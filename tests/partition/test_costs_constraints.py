@@ -1,0 +1,93 @@
+"""Tests for cost terms, weights and the constraint predicate."""
+
+import math
+
+import pytest
+
+from repro.config import CostWeights
+from repro.errors import OptimizationError
+from repro.partition.constraints import check_constraints
+from repro.partition.costs import CostBreakdown, log_guarded
+
+
+class TestCostBreakdown:
+    def test_total_is_weighted_sum(self):
+        weights = CostWeights()
+        breakdown = CostBreakdown(
+            c1_area=10.0,
+            c2_delay=0.05,
+            c3_separation=7.0,
+            c4_test_time=0.2,
+            c5_modules=4.0,
+            weights=weights,
+        )
+        expected = 9 * 10.0 + 1e5 * 0.05 + 7.0 + 0.2 + 10 * 4.0
+        assert breakdown.total == pytest.approx(expected)
+
+    def test_paper_weights_default(self):
+        weights = CostWeights()
+        assert weights.as_tuple() == (9.0, 1.0e5, 1.0, 1.0, 10.0)
+
+    def test_terms_and_weighted_terms(self):
+        breakdown = CostBreakdown(1, 2, 3, 4, 5, CostWeights())
+        assert breakdown.terms()["c5(modules)"] == 5
+        assert breakdown.weighted_terms()["a5*c5"] == 50
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(OptimizationError):
+            CostWeights(area=-1.0)
+
+    def test_log_guarded(self):
+        assert log_guarded(0.0) == 0.0
+        assert log_guarded(-5.0) == 0.0
+        assert log_guarded(math.e - 1) == pytest.approx(1.0)
+
+
+class TestConstraints:
+    def test_feasible_case(self, technology):
+        report = check_constraints(
+            technology,
+            module_leakage_na={0: 50.0, 1: 80.0},
+            module_max_current_ma={0: 10.0, 1: 20.0},
+        )
+        assert report.feasible
+        assert report.gamma == 1
+        assert report.violation == 0.0
+        assert report.discriminability[0] == pytest.approx(20.0)
+        assert report.worst_discriminability() == pytest.approx(12.5)
+
+    def test_discriminability_violation(self, technology):
+        report = check_constraints(
+            technology,
+            module_leakage_na={0: 250.0},  # budget is 100 nA
+            module_max_current_ma={0: 10.0},
+        )
+        assert not report.feasible
+        assert report.gamma == 0
+        assert report.violation == pytest.approx(1.5)
+
+    def test_rail_violation(self, technology):
+        # Required Rs = 0.2 V / 1000 mA = 0.2 ohm < min 0.5 ohm.
+        report = check_constraints(
+            technology,
+            module_leakage_na={0: 10.0},
+            module_max_current_ma={0: 1000.0},
+        )
+        assert not report.feasible
+        assert not report.rail_ok[0]
+        assert report.violation > 0
+
+    def test_zero_leakage_infinite_discriminability(self, technology):
+        report = check_constraints(
+            technology, module_leakage_na={0: 0.0}, module_max_current_ma={0: 0.0}
+        )
+        assert report.feasible
+        assert report.discriminability[0] == float("inf")
+
+    def test_violations_accumulate(self, technology):
+        report = check_constraints(
+            technology,
+            module_leakage_na={0: 200.0, 1: 300.0},
+            module_max_current_ma={0: 1.0, 1: 1.0},
+        )
+        assert report.violation == pytest.approx((2.0 - 1.0) + (3.0 - 1.0))

@@ -1,0 +1,66 @@
+"""Tests for partition structural metrics."""
+
+import pytest
+
+from repro.partition.metrics import compute_metrics, cut_edges, module_components
+from repro.partition.partition import Partition
+
+
+class TestCutEdges:
+    def test_single_module_no_cut(self, c17_paper):
+        partition = Partition.single_module(c17_paper)
+        cut, total = cut_edges(partition)
+        assert cut == 0
+        # c17 gate-to-gate edges: g2-g3, g2-g4, g1-O2, g3-O2, g3-O3, g4-O3.
+        assert total == 6
+
+    def test_paper_partition_cut(self, c17_paper):
+        partition = Partition.from_groups(
+            c17_paper, [{"g1", "g3", "O2"}, {"g2", "g4", "O3"}]
+        )
+        cut, total = cut_edges(partition)
+        # Crossing edges: g2-g3, g3-O3 -> 2.
+        assert (cut, total) == (2, 6)
+
+    def test_all_singletons_cut_everything(self, c17_paper):
+        partition = Partition(c17_paper, {g: g for g in range(6)})
+        cut, total = cut_edges(partition)
+        assert cut == total == 6
+
+
+class TestComponents:
+    def test_connected_module(self, c17_paper):
+        partition = Partition.from_groups(
+            c17_paper, [{"g1", "g3", "O2"}, {"g2", "g4", "O3"}]
+        )
+        for module in partition.module_ids:
+            assert module_components(partition, module) == 1
+
+    def test_disconnected_module(self, c17_paper):
+        # g1 and g4 share no gate-to-gate edge.
+        partition = Partition.from_groups(
+            c17_paper, [{"g1", "g4"}, {"g2", "g3", "O2", "O3"}]
+        )
+        assert module_components(partition, 0) == 2
+
+
+class TestComputeMetrics:
+    def test_summary_fields(self, c17_paper):
+        partition = Partition.from_groups(
+            c17_paper, [{"g1", "g3", "O2"}, {"g2", "g4", "O3"}]
+        )
+        metrics = compute_metrics(partition)
+        assert metrics.num_modules == 2
+        assert metrics.min_module_size == metrics.max_module_size == 3
+        assert metrics.balance == pytest.approx(1.0)
+        assert metrics.cut_fraction == pytest.approx(2 / 6)
+        assert metrics.disconnected_modules == 0
+        assert "K=2" in metrics.summary()
+
+    def test_chain_beats_random_on_cut(self, small_evaluator, rng):
+        from repro.optimize.random_search import random_partition
+        from repro.optimize.start import chain_start_partition
+
+        chain = compute_metrics(chain_start_partition(small_evaluator, 4, rng))
+        rand = compute_metrics(random_partition(small_evaluator, 4, rng))
+        assert chain.cut_fraction < rand.cut_fraction

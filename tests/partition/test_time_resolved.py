@@ -1,0 +1,87 @@
+"""Tests for the time-resolved δ(g,t) evaluation path (config flag)."""
+
+import pytest
+
+from repro.partition.evaluator import PartitionEvaluator
+from repro.partition.partition import Partition
+
+
+@pytest.fixture(scope="module")
+def evaluators():
+    from repro.netlist.benchmarks import c17_paper_naming
+
+    circuit = c17_paper_naming()
+    coarse = PartitionEvaluator(circuit, time_resolved_degradation=False)
+    fine = PartitionEvaluator(circuit, time_resolved_degradation=True)
+    return circuit, coarse, fine
+
+
+class TestTimeResolvedDegradation:
+    def test_fine_never_exceeds_coarse(self, evaluators):
+        """The module-level n_max simplification is pessimistic: per-gate
+        time-resolved activity can only be equal or smaller, so degraded
+        delays (and c2) can only shrink."""
+        circuit, coarse, fine = evaluators
+        partition = Partition.from_groups(
+            circuit, [{"g1", "g3", "O2"}, {"g2", "g4", "O3"}]
+        )
+        e_coarse = coarse.evaluate(partition)
+        e_fine = fine.evaluate(partition)
+        assert e_fine.degraded_delay_ns <= e_coarse.degraded_delay_ns + 1e-12
+        assert e_fine.breakdown.c2_delay <= e_coarse.breakdown.c2_delay + 1e-12
+
+    def test_current_and_area_terms_identical(self, evaluators):
+        """Only the delay term depends on the degradation evaluation
+        mode; area / separation / module count must match exactly."""
+        circuit, coarse, fine = evaluators
+        partition = Partition.single_module(circuit)
+        b_coarse = coarse.evaluate(partition).breakdown
+        b_fine = fine.evaluate(partition).breakdown
+        assert b_fine.c1_area == pytest.approx(b_coarse.c1_area)
+        assert b_fine.c3_separation == pytest.approx(b_coarse.c3_separation)
+        assert b_fine.c5_modules == b_coarse.c5_modules
+
+    def test_incremental_consistency_time_resolved(self, evaluators):
+        """The incremental state must stay consistent in fine mode too."""
+        import random
+
+        circuit, _, fine = evaluators
+        partition = Partition.from_groups(
+            circuit, [{"g1", "g3", "O2"}, {"g2", "g4", "O3"}]
+        )
+        state = fine.new_state(partition)
+        rng = random.Random(0)
+        for _ in range(10):
+            gate = rng.randrange(6)
+            targets = [
+                m
+                for m in state.partition.module_ids
+                if m != state.partition.module_of(gate)
+            ]
+            if targets:
+                state.move_gate(gate, rng.choice(targets))
+        state.consistency_check()
+        incremental = state.cost_breakdown().total
+        fresh = fine.new_state(state.partition).cost_breakdown().total
+        assert incremental == pytest.approx(fresh)
+
+    def test_flow_accepts_flag(self, evaluators):
+        from repro.config import EvolutionParams, SynthesisConfig
+        from repro.experiments.figure45 import c17_demo_technology
+        from repro.flow.synthesis import synthesize_iddq_testable
+
+        circuit, _, _ = evaluators
+        config = SynthesisConfig(
+            evolution=EvolutionParams(
+                mu=2,
+                children_per_parent=2,
+                monte_carlo_per_parent=1,
+                generations=5,
+                convergence_window=5,
+            ),
+            time_resolved_degradation=True,
+        )
+        design = synthesize_iddq_testable(
+            circuit, technology=c17_demo_technology(), config=config, seed=1
+        )
+        assert design.evaluation.feasible

@@ -1,0 +1,53 @@
+"""Tests for BIC sensor sizing."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.sensors.bic import size_sensor
+
+
+class TestSizing:
+    def test_rs_from_rail_constraint(self, technology):
+        # r = 0.2 V, 20 mA -> Rs = 10 ohm.
+        sensor = size_sensor(technology, 0, max_current_ma=20.0, rail_cap_ff=1000.0)
+        assert sensor.rs_ohm == pytest.approx(10.0)
+        assert sensor.rail_perturbation_v == pytest.approx(technology.rail_limit_v)
+        assert not sensor.rs_clamped
+
+    def test_area_model(self, technology):
+        sensor = size_sensor(technology, 0, max_current_ma=20.0, rail_cap_ff=1000.0)
+        expected = technology.sensor_area_a0 + technology.sensor_area_a1 / sensor.rs_ohm
+        assert sensor.area == pytest.approx(expected)
+
+    def test_bigger_current_bigger_sensor(self, technology):
+        small = size_sensor(technology, 0, 5.0, 500.0)
+        large = size_sensor(technology, 1, 50.0, 500.0)
+        assert large.area > small.area
+        assert large.rs_ohm < small.rs_ohm
+
+    def test_tau_units(self, technology):
+        # 10 ohm * 1000 fF = 10 ps = 0.01 ns.
+        sensor = size_sensor(technology, 0, 20.0, 1000.0)
+        assert sensor.tau_ns == pytest.approx(0.01)
+
+    def test_min_rs_clamp_flags_infeasible(self, technology):
+        # Current so large the required Rs drops below the floor.
+        huge = technology.rail_limit_v / (technology.min_rs_ohm * 1e-3) * 2
+        sensor = size_sensor(technology, 0, huge, 1000.0)
+        assert sensor.rs_clamped
+        assert sensor.rs_ohm == technology.min_rs_ohm
+        assert sensor.rail_perturbation_v > technology.rail_limit_v
+
+    def test_max_rs_clamp_not_flagged(self, technology):
+        sensor = size_sensor(technology, 0, 1e-6, 100.0)
+        assert sensor.rs_ohm == technology.max_rs_ohm
+        assert not sensor.rs_clamped
+
+    def test_zero_current_module(self, technology):
+        sensor = size_sensor(technology, 0, 0.0, 100.0)
+        assert sensor.rs_ohm == technology.max_rs_ohm
+        assert sensor.rail_perturbation_v == 0.0
+
+    def test_negative_current_rejected(self, technology):
+        with pytest.raises(ConstraintError):
+            size_sensor(technology, 0, -1.0, 100.0)

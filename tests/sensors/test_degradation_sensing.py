@@ -1,0 +1,76 @@
+"""Tests for the delay degradation models and the sensing behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.bic import size_sensor
+from repro.sensors.degradation import FirstOrderDegradation, SecondOrderDegradation
+from repro.sensors.sensing import sense_module, settle_time_ns
+
+
+class TestDegradation:
+    def test_first_order_formula(self):
+        model = FirstOrderDegradation()
+        delta = model.delta(4.0, 10.0, 0.0, np.asarray([15.0]), np.asarray([4000.0]))
+        assert delta[0] == pytest.approx(4 * 10 / 4000)
+
+    def test_second_order_below_first_order(self):
+        first = FirstOrderDegradation()
+        second = SecondOrderDegradation()
+        cg = np.asarray([15.0, 20.0])
+        rg = np.asarray([4000.0, 3500.0])
+        d1 = first.delta(5.0, 8.0, 5000.0, cg, rg)
+        d2 = second.delta(5.0, 8.0, 5000.0, cg, rg)
+        assert (d2 < d1).all()
+        assert (d2 > 0).all()
+
+    def test_second_order_reduces_with_rail_cap(self):
+        model = SecondOrderDegradation()
+        cg = np.asarray([15.0])
+        rg = np.asarray([4000.0])
+        small_cs = model.delta(5.0, 8.0, 100.0, cg, rg)
+        big_cs = model.delta(5.0, 8.0, 10000.0, cg, rg)
+        assert big_cs[0] < small_cs[0]
+
+    def test_monotone_in_activity(self):
+        for model in (FirstOrderDegradation(), SecondOrderDegradation()):
+            cg = np.asarray([15.0])
+            rg = np.asarray([4000.0])
+            quiet = model.delta(1.0, 8.0, 1000.0, cg, rg)
+            busy = model.delta(20.0, 8.0, 1000.0, cg, rg)
+            assert busy[0] > quiet[0]
+
+    def test_vectorised_activity(self):
+        model = SecondOrderDegradation()
+        n = np.asarray([1.0, 4.0, 9.0])
+        cg = np.asarray([15.0, 15.0, 15.0])
+        rg = np.asarray([4000.0, 4000.0, 4000.0])
+        delta = model.delta(n, 8.0, 1000.0, cg, rg)
+        assert delta.shape == (3,)
+        assert delta[0] < delta[1] < delta[2]
+
+
+class TestSensing:
+    def test_settle_time_grows_with_tau(self, technology):
+        quick = size_sensor(technology, 0, 10.0, 100.0)
+        slow = size_sensor(technology, 1, 10.0, 100000.0)
+        assert settle_time_ns(slow, technology) > settle_time_ns(quick, technology)
+
+    def test_settle_includes_sense_time(self, technology):
+        sensor = size_sensor(technology, 0, 10.0, 100.0)
+        assert settle_time_ns(sensor, technology) >= technology.sense_time_ns
+
+    def test_pass_below_threshold(self, technology):
+        sensor = size_sensor(technology, 0, 10.0, 1000.0)
+        outcome = sense_module(sensor, 0.5, technology)
+        assert outcome.passes and not outcome.fails
+
+    def test_fail_at_threshold(self, technology):
+        sensor = size_sensor(technology, 0, 10.0, 1000.0)
+        outcome = sense_module(sensor, technology.iddq_threshold_ua, technology)
+        assert outcome.fails
+
+    def test_negative_current_rejected(self, technology):
+        sensor = size_sensor(technology, 0, 10.0, 1000.0)
+        with pytest.raises(ValueError):
+            sense_module(sensor, -0.1, technology)

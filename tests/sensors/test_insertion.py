@@ -1,0 +1,100 @@
+"""Tests for the sensor insertion netlist transform."""
+
+import pytest
+
+from repro.netlist.bench import parse_bench
+from repro.netlist.benchmarks import c17_paper_naming
+from repro.partition.partition import Partition
+from repro.sensors.insertion import insert_sensors
+
+
+@pytest.fixture(scope="module")
+def design():
+    circuit = c17_paper_naming()
+    partition = Partition.from_groups(
+        circuit, [{"g1", "g3", "O2"}, {"g2", "g4", "O3"}]
+    )
+    return insert_sensors(circuit, partition)
+
+
+class TestStructure:
+    def test_original_logic_preserved(self, design):
+        base = design.base_circuit
+        for name in base.gate_names:
+            assert design.circuit.gate(name).fanins == base.gate(name).fanins
+        for out in base.output_names:
+            assert out in design.circuit.output_names
+
+    def test_control_and_fail_inputs_added(self, design):
+        inputs = set(design.circuit.input_names)
+        assert "bic_ctrl" in inputs
+        assert "bic_fail_m0" in inputs
+        assert "bic_fail_m1" in inputs
+
+    def test_fail_output_added(self, design):
+        assert design.fail_output in design.circuit.output_names
+
+    def test_monitor_tree_size(self, design):
+        # 2 modules -> one OR + the control AND.
+        assert design.monitor_gate_count == 2
+
+    def test_rails_cover_every_gate(self, design):
+        assert set(design.rail_of_gate) == set(design.base_circuit.gate_names)
+        rails = set(design.rail_of_gate.values())
+        assert rails == {"bic_vgnd_m0", "bic_vgnd_m1"}
+
+    def test_sensor_instances(self, design):
+        assert len(design.sensors) == 2
+        for sensor in design.sensors:
+            assert sensor.control_net == "bic_ctrl"
+
+
+class TestSerialization:
+    def test_to_bench_parses_back(self, design):
+        text = design.to_bench()
+        again = parse_bench(text, name="again")
+        assert set(design.circuit.gate_names) == set(again.gate_names)
+        assert design.circuit.output_names == again.output_names
+
+    def test_header_documents_modules(self, design):
+        text = design.to_bench()
+        assert "modules: 2" in text
+        assert "bic_vgnd_m0" in text
+
+
+class TestManyModules:
+    def test_or_tree_for_five_modules(self, small_circuit):
+        n = len(small_circuit.gate_names)
+        partition = Partition(small_circuit, {g: g % 5 for g in range(n)})
+        design = insert_sensors(small_circuit, partition, prefix="t")
+        # 5 fail nets -> OR tree of 4 ORs? (2+1 then 2 then 1) = 3 ORs + AND.
+        assert design.monitor_gate_count == 5
+        sim_inputs = set(design.circuit.input_names)
+        assert {"t_fail_m0", "t_fail_m1", "t_fail_m2", "t_fail_m3", "t_fail_m4"} <= sim_inputs
+
+
+class TestMonitorLogic:
+    def test_fail_output_is_or_of_fail_inputs_gated_by_ctrl(self, design):
+        """Simulate the sensorised netlist: FAIL fires iff some sensor
+        fails while test control is asserted."""
+        import numpy as np
+
+        from repro.faultsim.logic_sim import LogicSimulator
+
+        circuit = design.circuit
+        sim = LogicSimulator(circuit)
+        inputs = list(circuit.input_names)
+        fail_idx = circuit.output_names.index(design.fail_output)
+
+        def run(ctrl, fail0, fail1):
+            pattern = np.zeros((1, len(inputs)), dtype=np.uint8)
+            pattern[0, inputs.index("bic_ctrl")] = ctrl
+            pattern[0, inputs.index("bic_fail_m0")] = fail0
+            pattern[0, inputs.index("bic_fail_m1")] = fail1
+            return sim.simulate_outputs(pattern)[0, fail_idx]
+
+        assert run(1, 0, 0) == 0
+        assert run(1, 1, 0) == 1
+        assert run(1, 0, 1) == 1
+        assert run(1, 1, 1) == 1
+        assert run(0, 1, 1) == 0  # control gates the monitor

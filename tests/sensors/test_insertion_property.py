@@ -1,0 +1,56 @@
+"""Property test: sensor insertion is functionally transparent and
+structurally sound on arbitrary generated circuits and partitions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faultsim.logic_sim import LogicSimulator
+from repro.faultsim.patterns import random_patterns
+from repro.netlist.bench import parse_bench
+from repro.netlist.generate import GeneratorConfig, generate_iscas_like
+from repro.partition.partition import Partition
+from repro.sensors.insertion import insert_sensors
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_gates=st.integers(10, 80),
+    num_inputs=st.integers(2, 6),
+    depth=st.integers(2, 8),
+    k=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_insertion_property(num_gates, num_inputs, depth, k, seed):
+    circuit = generate_iscas_like(
+        GeneratorConfig(
+            name="ins",
+            num_gates=num_gates,
+            num_inputs=num_inputs,
+            num_outputs=2,
+            depth=min(depth, num_gates),
+            seed=seed,
+        )
+    )
+    k = min(k, num_gates)
+    partition = Partition(circuit, {g: g % k for g in range(num_gates)})
+    design = insert_sensors(circuit, partition)
+
+    # Structure: one sensor per module, every gate on a rail, bench parses.
+    assert len(design.sensors) == k
+    assert set(design.rail_of_gate) == set(circuit.gate_names)
+    parse_bench(design.to_bench(), name="roundtrip")
+
+    # Function: original outputs unchanged in normal mode (ctrl=1, no fails).
+    patterns = random_patterns(num_inputs, 32, seed=seed)
+    base_out = LogicSimulator(circuit).simulate_outputs(patterns)
+    extended = design.circuit
+    ext_inputs = list(extended.input_names)
+    ext_patterns = np.zeros((32, len(ext_inputs)), dtype=np.uint8)
+    for column, name in enumerate(circuit.input_names):
+        ext_patterns[:, ext_inputs.index(name)] = patterns[:, column]
+    ext_patterns[:, ext_inputs.index("bic_ctrl")] = 1
+    values = LogicSimulator(extended).simulate(ext_patterns)
+    assert (values.unpack(circuit.output_names) == base_out).all()
+    # With no sensor failing, the global FAIL stays low.
+    assert not values.unpack([design.fail_output]).any()

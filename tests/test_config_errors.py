@@ -1,0 +1,70 @@
+"""Tests for configuration dataclasses and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.config import CostWeights, EvolutionParams, SynthesisConfig
+from repro.errors import OptimizationError
+
+
+class TestEvolutionParams:
+    def test_defaults_valid(self):
+        params = EvolutionParams()
+        assert params.mu >= 1
+        assert params.generations >= 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("mu", 0),
+            ("children_per_parent", 0),
+            ("monte_carlo_per_parent", -1),
+            ("max_lifetime", 0),
+            ("max_moved_gates", 0),
+            ("step_std", 0.0),
+            ("generations", 0),
+            ("convergence_window", 0),
+            ("penalty", 0.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(OptimizationError):
+            EvolutionParams(**{field: value})
+
+    def test_scaled_budget(self):
+        params = EvolutionParams(generations=100)
+        assert params.scaled(0.5).generations == 50
+        assert params.scaled(0.0001).generations == 1  # floors at 1
+        assert params.scaled(2.0).generations == 200
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EvolutionParams().mu = 3
+
+
+class TestSynthesisConfig:
+    def test_defaults(self):
+        config = SynthesisConfig()
+        assert config.weights.as_tuple() == (9.0, 1.0e5, 1.0, 1.0, 10.0)
+        assert config.seed == 1995
+        assert config.time_resolved_degradation is False
+
+    def test_custom_weights(self):
+        config = SynthesisConfig(weights=CostWeights(area=1.0))
+        assert config.weights.area == 1.0
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in errors.__all__:
+            if name == "ReproError":
+                continue
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_bench_error_is_netlist_error(self):
+        assert issubclass(errors.BenchFormatError, errors.NetlistError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.FaultSimError("boom")
