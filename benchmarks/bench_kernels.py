@@ -10,11 +10,15 @@ import random
 import numpy as np
 import pytest
 
+from repro.analysis.separation import SeparationMatrix
 from repro.analysis.transition_times import TransitionTimes
+from repro.config import EvolutionParams
 from repro.faultsim.logic_sim import LogicSimulator
 from repro.faultsim.patterns import random_patterns
 from repro.netlist.benchmarks import load_iscas85
-from repro.optimize.start import chain_start_partition, estimate_module_count
+from repro.netlist.compiled import compile_circuit
+from repro.optimize.evolution import evolve_partition
+from repro.optimize.start import chain_start_partition, estimate_module_count, start_population
 from repro.partition.evaluator import PartitionEvaluator
 
 
@@ -100,3 +104,38 @@ def test_logic_sim_throughput_c7552(benchmark):
 
     out = benchmark(lambda: sim.simulate_outputs(patterns))
     assert out.shape == (1024, len(circuit.output_names))
+
+
+def test_compile_graph_c7552(benchmark):
+    """One-off compilation of the circuit DAG into the CSR kernel."""
+    circuit = load_iscas85("c7552")
+
+    compiled = benchmark(lambda: compile_circuit(circuit))
+    assert compiled.num_gates == len(circuit.gate_names)
+
+
+def test_separation_matrix_build_c7552(benchmark):
+    """Batched all-sources capped BFS — the §3.3 S(gi, gj) matrix."""
+    circuit = load_iscas85("c7552")
+    circuit.compiled  # compilation timed separately above
+
+    matrix = benchmark(lambda: SeparationMatrix(circuit, 10))
+    assert matrix.matrix.shape == (len(circuit.gate_names),) * 2
+
+
+def test_evolution_short_run_c7552(benchmark, c7552_evaluator):
+    """A short §4 evolution run on the largest Table 1 circuit — the
+    end-to-end consumer of every kernel above (run once, seconds-long)."""
+    params = EvolutionParams(
+        mu=3, children_per_parent=2, monte_carlo_per_parent=1, generations=4,
+        convergence_window=10,
+    )
+
+    def run():
+        rng = random.Random(3)
+        k = estimate_module_count(c7552_evaluator)
+        starts = start_population(c7552_evaluator, k, params.mu, rng)
+        return evolve_partition(c7552_evaluator, params=params, seed=3, starts=starts)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.best.cost > 0

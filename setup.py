@@ -1,2 +1,8 @@
+"""Legacy shim: metadata lives in pyproject.toml.
+
+Kept so `pip install -e . --no-use-pep517` works on offline/minimal
+toolchains (no `wheel` package); normal installs use pyproject.
+"""
 from setuptools import setup
+
 setup()

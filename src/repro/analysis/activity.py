@@ -17,11 +17,7 @@ __all__ = ["module_activity_profile", "module_max_activity"]
 
 def module_activity_profile(times: TransitionTimes, gate_indices) -> np.ndarray:
     """Count of potentially simultaneously switching gates per time slot."""
-    ones = np.ones(1, dtype=np.float64)
-    out = np.zeros(times.depth + 1, dtype=np.float64)
-    for g in gate_indices:
-        out[times.times[g]] += ones[0]
-    return out
+    return times.profile(np.asarray(list(gate_indices), dtype=np.int64), None)
 
 
 def module_max_activity(times: TransitionTimes, gate_indices) -> float:

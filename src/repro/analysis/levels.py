@@ -1,8 +1,11 @@
-"""Levelisation helpers on top of :attr:`Circuit.levels`."""
+"""Levelisation helpers on top of the compiled graph's level arrays."""
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import csr_gather
 
 __all__ = ["gates_by_level", "reverse_levels"]
 
@@ -11,12 +14,12 @@ def gates_by_level(circuit: Circuit) -> list[list[str]]:
     """Logic gates grouped by unit-delay level, levels ascending.
 
     Index 0 corresponds to level 1 (the first logic level); primary
-    inputs (level 0) are not included.
+    inputs (level 0) are not included.  Within a level, gates appear in
+    file order.
     """
-    buckets: list[list[str]] = [[] for _ in range(circuit.depth)]
-    for name in circuit.gate_names:
-        buckets[circuit.levels[name] - 1].append(name)
-    return buckets
+    cg = circuit.compiled
+    names = circuit.all_names
+    return [[names[n] for n in group.nodes] for group in cg.level_groups]
 
 
 def reverse_levels(circuit: Circuit) -> dict[str, int]:
@@ -24,13 +27,22 @@ def reverse_levels(circuit: Circuit) -> dict[str, int]:
     sink it can reach; output gates themselves are 0.
 
     Used by clustering heuristics that grow chains "towards a primary
-    output" (paper §4.2).
+    output" (paper §4.2).  Computed level by level *descending* over the
+    fanout CSR — every fanout of a level-l node sits at a strictly
+    higher level, so one gather + ``maximum.reduceat`` per level
+    suffices.
     """
-    depth_to_sink: dict[str, int] = {}
-    for name in reversed(circuit.topological_order):
-        fanouts = circuit.fanouts[name]
-        if not fanouts:
-            depth_to_sink[name] = 0
-        else:
-            depth_to_sink[name] = 1 + max(depth_to_sink[s] for s in fanouts)
-    return depth_to_sink
+    cg = circuit.compiled
+    depth_to_sink = np.zeros(cg.num_nodes, dtype=np.int64)
+    for level in range(cg.depth, -1, -1):
+        nodes = np.nonzero(cg.level == level)[0]
+        sinks, counts = csr_gather(cg.fanout_indptr, cg.fanout_indices, nodes)
+        active = counts > 0
+        if not active.any():
+            continue
+        cum0 = np.cumsum(counts) - counts
+        depth_to_sink[nodes[active]] = 1 + np.maximum.reduceat(
+            depth_to_sink[sinks], cum0[active]
+        )
+    names = circuit.all_names
+    return {names[i]: int(depth_to_sink[i]) for i in range(cg.num_nodes)}

@@ -4,6 +4,15 @@ The overhead numbers of §3.2 are ratios of longest-path delays; for
 reports and debugging it is often necessary to see *which* path is
 critical and how the sensor degradation reshapes it (the degraded
 critical path need not be the nominal one).
+
+Arrival times and predecessors are computed level by level over the
+compiled graph: per level one gather of fanin arrivals, one
+``maximum.reduceat`` for the arrival, and one ``minimum.reduceat`` over
+masked positions for the predecessor.  Tie-breaking is identical to the
+per-gate reference walk: among equal-arrival fanins the *first in
+declaration order* wins (the compiled fanin table preserves declaration
+order), and among equal-arrival endpoints the lexicographically last
+gate name wins.
 """
 
 from __future__ import annotations
@@ -35,40 +44,42 @@ class CriticalPath:
 def extract_critical_path(circuit: Circuit, delays: np.ndarray) -> CriticalPath:
     """Trace the longest path under per-gate ``delays``.
 
-    Ties break toward the lexicographically first fanin, making the
+    Ties break toward the first fanin in declaration order, making the
     extraction deterministic.
     """
-    index = circuit.gate_index
-    if delays.shape != (len(index),):
-        raise ValueError(f"delays must have shape ({len(index)},), got {delays.shape}")
-    arrival: dict[str, float] = {}
-    predecessor: dict[str, str | None] = {}
-    for name in circuit.topological_order:
-        gate = circuit.gate(name)
-        if gate.gate_type.is_input:
-            arrival[name] = 0.0
-            predecessor[name] = None
-            continue
-        best_fanin = None
-        best_arrival = -1.0
-        for fanin in gate.fanins:
-            if arrival[fanin] > best_arrival:
-                best_arrival = arrival[fanin]
-                best_fanin = fanin
-        arrival[name] = best_arrival + float(delays[index[name]])
-        predecessor[name] = best_fanin
+    cg = circuit.compiled
+    if delays.shape != (cg.num_gates,):
+        raise ValueError(f"delays must have shape ({cg.num_gates},), got {delays.shape}")
 
-    end = max(
-        (name for name in circuit.gate_names),
-        key=lambda name: (arrival[name], name),
-    )
+    arrival = np.zeros(cg.num_nodes, dtype=np.float64)
+    predecessor = np.full(cg.num_nodes, -1, dtype=np.int64)
+    for group in cg.level_groups:
+        fanins = group.fanins.astype(np.int64)
+        vals = arrival[fanins]  # (edges,)
+        best = np.maximum.reduceat(vals, group.offsets)
+        counts = group.counts
+        # First position per segment whose arrival equals the maximum.
+        is_best = vals == np.repeat(best, counts)
+        positions = np.arange(len(vals), dtype=np.int64)
+        first = np.minimum.reduceat(
+            np.where(is_best, positions, len(vals)), group.offsets
+        )
+        predecessor[group.nodes] = fanins[first]
+        arrival[group.nodes] = best + delays[cg.node_gate[group.nodes]]
+
+    names = circuit.gate_names
+    gate_arrival = arrival[cg.gate_node.astype(np.int64)]
+    top = np.nonzero(gate_arrival == gate_arrival.max())[0]
+    end = int(max(top, key=lambda g: names[g]))
+
     path: list[str] = []
-    cursor: str | None = end
-    while cursor is not None and not circuit.gate(cursor).gate_type.is_input:
-        path.append(cursor)
-        cursor = predecessor[cursor]
-    start_input = cursor if cursor is not None else path[-1]
+    all_names = circuit.all_names
+    cursor = int(cg.gate_node[end])
+    while cursor >= 0 and cg.node_gate[cursor] >= 0:
+        path.append(all_names[cursor])
+        cursor = int(predecessor[cursor])
+    start_input = all_names[cursor] if cursor >= 0 else path[-1]
     path.reverse()
     return CriticalPath(
-        gates=tuple(path), delay=arrival[end], start_input=start_input
+        gates=tuple(path), delay=float(gate_arrival[end]), start_input=start_input
     )

@@ -10,13 +10,19 @@ The metric rewards modules whose gates are tightly connected — "the
 parameter decreases if many nodes ... are connected, and it is minimum
 if M is a clique of the undirected circuit graph".
 
-Implementation: one capped breadth-first search per logic gate fills a
-dense ``uint8`` matrix (defaulted to ``ρ``).  BFS traverses *all* nodes
-(two gates may be close through a shared primary input) but distances
-are recorded for logic gates only.  For the largest Table 1 circuit
-(3512 gates) the matrix is ~12 MB and builds in a few seconds, after
-which every module evaluation and every incremental move delta is pure
-numpy indexing.
+Implementation: a *batched* capped BFS from all gates simultaneously.
+Each node carries a bitset over source gates ("which sources have
+reached me"); one BFS step ORs every node's neighbour bitsets together
+with a single gather + ``bitwise_or.reduceat`` over the compiled
+graph's CSR adjacency, and newly-set bits are scattered into the dense
+``uint8`` distance matrix at the current depth.  BFS traverses *all*
+nodes (two gates may be close through a shared primary input) but
+distances are recorded for logic gates only.  For the largest Table 1
+circuit (3512 gates) the matrix is ~12 MB and builds in under a
+second — an order of magnitude faster than the per-gate Python BFS it
+replaced (kept below as :func:`reference_separation_matrix` for the
+equivalence suite) — after which every module evaluation and every
+incremental move delta is pure numpy indexing.
 """
 
 from __future__ import annotations
@@ -25,7 +31,9 @@ import numpy as np
 
 from repro.netlist.circuit import Circuit
 
-__all__ = ["SeparationMatrix", "module_separation"]
+__all__ = ["SeparationMatrix", "module_separation", "reference_separation_matrix"]
+
+_WORD = 64
 
 
 class SeparationMatrix:
@@ -37,39 +45,46 @@ class SeparationMatrix:
         if cap > 255:
             raise ValueError("separation cap above 255 not supported (uint8 storage)")
         self.cap = cap
-        names = circuit.all_names
-        node_index = {name: i for i, name in enumerate(names)}
-        adjacency: list[list[int]] = [[] for _ in names]
-        for name, neighbours in circuit.undirected_adjacency.items():
-            adjacency[node_index[name]] = [node_index[n] for n in neighbours]
-        gate_index = circuit.gate_index
-        # node id -> dense gate id (or -1 for primary inputs)
-        node_to_gate = np.full(len(names), -1, dtype=np.int64)
-        for name, g in gate_index.items():
-            node_to_gate[node_index[name]] = g
-        n = len(gate_index)
+        cg = circuit.compiled
+        n = cg.num_gates
+        num_nodes = cg.num_nodes
+        num_words = (n + _WORD - 1) // _WORD
+
+        # reached[v, w]: bit s of word w set iff source gate s has
+        # reached node v within the steps taken so far.
+        reached = np.zeros((num_nodes, num_words), dtype=np.uint64)
+        source_bit = np.arange(n, dtype=np.uint64)
+        reached[cg.gate_node, (source_bit // _WORD).astype(np.int64)] = np.left_shift(
+            np.uint64(1), source_bit % np.uint64(_WORD)
+        )
+
         matrix = np.full((n, n), cap, dtype=np.uint8)
-        visited = np.full(len(names), -1, dtype=np.int64)
-        for name, g in gate_index.items():
-            start = node_index[name]
-            visited[start] = g
-            frontier = [start]
-            row = matrix[g]
-            row[g] = 0
-            for dist in range(1, cap):
-                nxt: list[int] = []
-                for node in frontier:
-                    for nbr in adjacency[node]:
-                        if visited[nbr] != g:
-                            visited[nbr] = g
-                            gate_id = node_to_gate[nbr]
-                            if gate_id >= 0:
-                                row[gate_id] = dist
-                            nxt.append(nbr)
-                if not nxt:
-                    break
-                frontier = nxt
-            visited[start] = g  # keep marker consistent (already set)
+        np.fill_diagonal(matrix, 0)
+
+        # reduceat segment starts: rows with degree zero (unused primary
+        # inputs) are skipped; segments of the remaining rows tile the
+        # whole ``adj_indices`` array, so offsets into the gathered edge
+        # matrix are just their indptr starts.
+        degree = np.diff(cg.adj_indptr)
+        nonzero = np.nonzero(degree > 0)[0]
+        offsets = cg.adj_indptr[nonzero].astype(np.int64)
+
+        frontier = np.zeros_like(reached)
+        for dist in range(1, cap):
+            gathered = reached[cg.adj_indices]  # (edges, words)
+            frontier[:] = 0
+            frontier[nonzero] = np.bitwise_or.reduceat(gathered, offsets, axis=0)
+            newly = frontier & ~reached
+            if not newly.any():
+                break
+            reached |= newly
+            gate_newly = newly[cg.gate_node]  # (gate rows, words)
+            bits = np.unpackbits(
+                gate_newly.view(np.uint8), axis=1, bitorder="little"
+            )[:, :n]
+            # bits[target, source] set => d(source, target) == dist; write
+            # through the transposed view so rows stay source-major.
+            np.copyto(matrix.T, np.uint8(dist), where=bits.view(np.bool_))
         self.matrix = matrix
 
     def distance(self, g1: int, g2: int) -> int:
@@ -89,6 +104,43 @@ class SeparationMatrix:
             return 0.0
         sub = self.matrix[np.ix_(group, group)].astype(np.int64)
         return float(sub.sum() / 2)
+
+
+def reference_separation_matrix(circuit: Circuit, cap: int) -> np.ndarray:
+    """One capped Python BFS per gate — the executable specification the
+    batched builder is tested against."""
+    names = circuit.all_names
+    node_index = {name: i for i, name in enumerate(names)}
+    adjacency: list[list[int]] = [[] for _ in names]
+    for name, neighbours in circuit.undirected_adjacency.items():
+        adjacency[node_index[name]] = [node_index[n] for n in neighbours]
+    gate_index = circuit.gate_index
+    node_to_gate = np.full(len(names), -1, dtype=np.int64)
+    for name, g in gate_index.items():
+        node_to_gate[node_index[name]] = g
+    n = len(gate_index)
+    matrix = np.full((n, n), cap, dtype=np.uint8)
+    visited = np.full(len(names), -1, dtype=np.int64)
+    for name, g in gate_index.items():
+        start = node_index[name]
+        visited[start] = g
+        frontier = [start]
+        row = matrix[g]
+        row[g] = 0
+        for dist in range(1, cap):
+            nxt: list[int] = []
+            for node in frontier:
+                for nbr in adjacency[node]:
+                    if visited[nbr] != g:
+                        visited[nbr] = g
+                        gate_id = node_to_gate[nbr]
+                        if gate_id >= 0:
+                            row[gate_id] = dist
+                        nxt.append(nbr)
+            if not nxt:
+                break
+            frontier = nxt
+    return matrix
 
 
 def module_separation(circuit: Circuit, gates, cap: int) -> float:

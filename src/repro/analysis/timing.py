@@ -6,7 +6,8 @@ paths through the gate DAG.  Because the optimiser re-times the circuit
 for every candidate partition, the longest-path computation is
 vectorised: gates are processed level by level, and each level's
 arrival times are produced by one scatter-max over the edges entering
-it.
+it.  The level structure itself comes straight from the compiled
+graph's level groups — no dict traversal at construction either.
 """
 
 from __future__ import annotations
@@ -39,31 +40,22 @@ class LevelizedTiming:
     """
 
     def __init__(self, circuit: Circuit):
-        index = circuit.gate_index
-        levels = circuit.levels
-        by_level: dict[int, list[str]] = {}
-        for name in circuit.gate_names:
-            by_level.setdefault(levels[name], []).append(name)
+        cg = circuit.compiled
         self._levels: list[_LevelEdges] = []
-        for level in sorted(by_level):
-            names = by_level[level]
-            gate_idx = np.asarray([index[n] for n in names], dtype=np.int64)
-            dst_pos: list[int] = []
-            src: list[int] = []
-            for pos, name in enumerate(names):
-                for fanin in circuit.gate(name).fanins:
-                    fanin_idx = index.get(fanin)
-                    if fanin_idx is not None:  # skip primary inputs
-                        dst_pos.append(pos)
-                        src.append(fanin_idx)
+        for group in cg.level_groups:
+            fanin_gate = cg.node_gate[group.fanins].astype(np.int64)
+            keep = fanin_gate >= 0  # drop edges from primary inputs
+            dst_pos = np.repeat(
+                np.arange(len(group.nodes), dtype=np.int64), group.counts
+            )
             self._levels.append(
                 _LevelEdges(
-                    gate_idx=gate_idx,
-                    dst_pos=np.asarray(dst_pos, dtype=np.int64),
-                    src=np.asarray(src, dtype=np.int64),
+                    gate_idx=cg.node_gate[group.nodes].astype(np.int64),
+                    dst_pos=dst_pos[keep],
+                    src=fanin_gate[keep],
                 )
             )
-        self.num_gates = len(circuit.gate_names)
+        self.num_gates = cg.num_gates
 
     def arrival_times(self, delays: np.ndarray) -> np.ndarray:
         """Arrival time at each gate's output for the given per-gate delays."""

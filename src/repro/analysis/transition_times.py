@@ -11,28 +11,42 @@ On the unit-delay grid this set satisfies the DAG recurrence::
     T(pi)  = {0}                       for primary inputs
     T(g)   = union over fanins f of { t + 1 : t in T(f) }
 
-We represent each set as a Python integer bitmask (bit ``t`` set means a
-transition can arrive at time ``t``), so the recurrence is one shift and
-OR per fanin — exact, allocation-free, and fast even for the deep C6288
-array (depth ~90-124 means 124-bit integers, still cheap).
+Each set is a bitmask (bit ``t`` set means a transition can arrive at
+time ``t``).  The batched computation stores all masks as rows of
+``uint64`` words and processes the compiled graph level by level: one
+level is a single gather of fanin rows, a vectorised shift-by-one
+across words, and a ``bitwise_or.reduceat`` — exact and fast even for
+the deep C6288 array (depth ~90-124 means 2-word masks, still cheap).
+:func:`transition_time_masks` keeps the per-gate Python-int recurrence
+as the executable specification for the equivalence suite.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import csr_gather
 
-__all__ = ["transition_time_masks", "times_from_mask", "TransitionTimes"]
+__all__ = [
+    "transition_time_masks",
+    "transition_mask_words",
+    "times_from_mask",
+    "TransitionTimes",
+]
+
+_WORD = 64
 
 
 def transition_time_masks(circuit: Circuit) -> dict[str, int]:
     """Bitmask of possible transition arrival times for every node.
 
     Primary inputs get ``{0}`` (mask ``1``); every logic gate the exact
-    union-of-shifted-fanin-sets per the recurrence above.
+    union-of-shifted-fanin-sets per the recurrence above.  This is the
+    reference (per-gate Python integer) implementation; the vectorised
+    equivalent is :func:`transition_mask_words`.
     """
     masks: dict[str, int] = {}
     for name in circuit.topological_order:
@@ -44,6 +58,28 @@ def transition_time_masks(circuit: Circuit) -> dict[str, int]:
             for fanin in gate.fanins:
                 mask |= masks[fanin] << 1
             masks[name] = mask
+    return masks
+
+
+def transition_mask_words(circuit: Circuit) -> np.ndarray:
+    """``(num_nodes, words)`` uint64 transition-time masks, little-endian
+    words (bit ``t`` of the mask is bit ``t % 64`` of word ``t // 64``).
+
+    Level-batched over the compiled graph: per level one fanin gather,
+    one cross-word shift, one ``bitwise_or.reduceat``.
+    """
+    cg = circuit.compiled
+    words = cg.depth // _WORD + 1
+    masks = np.zeros((cg.num_nodes, words), dtype=np.uint64)
+    masks[cg.input_node, 0] = 1
+    one = np.uint64(1)
+    carry_shift = np.uint64(_WORD - 1)
+    for group in cg.level_groups:
+        vals = masks[group.fanins]  # (edges, words)
+        shifted = vals << one
+        if words > 1:
+            shifted[:, 1:] |= vals[:, :-1] >> carry_shift
+        masks[group.nodes] = np.bitwise_or.reduceat(shifted, group.offsets, axis=0)
     return masks
 
 
@@ -68,26 +104,89 @@ class TransitionTimes:
         times: per logic gate (by :attr:`Circuit.gate_index` order) the
             numpy array of its transition times; used to scatter-add
             per-gate contributions into module time profiles.
+        times_flat: all gates' transition times concatenated in gate
+            order — the CSR form of ``times``.
+        times_indptr: segment bounds into ``times_flat`` (length
+            ``num_gates + 1``).
     """
 
     depth: int
     times: tuple[np.ndarray, ...]
+    times_flat: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    times_indptr: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+    def __post_init__(self) -> None:
+        # Hand-built instances (tests, reference swaps) supply only
+        # ``times``; derive the CSR form so every consumer runs the same
+        # single vectorised path.
+        if self.times_indptr.size == 0:
+            counts = np.asarray([len(t) for t in self.times], dtype=np.int64)
+            indptr = np.zeros(len(self.times) + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            flat = (
+                np.concatenate(self.times).astype(np.int64)
+                if len(self.times)
+                else np.empty(0, np.int64)
+            )
+            object.__setattr__(self, "times_flat", flat)
+            object.__setattr__(self, "times_indptr", indptr)
 
     @classmethod
     def compute(cls, circuit: Circuit) -> "TransitionTimes":
-        masks = transition_time_masks(circuit)
+        cg = circuit.compiled
+        masks = transition_mask_words(circuit)
+        bits = np.unpackbits(
+            masks[cg.gate_node].view(np.uint8), axis=1, bitorder="little"
+        )[:, : cg.depth + 1]
+        gate, time = np.nonzero(bits)
+        times_flat = time.astype(np.int64)
+        counts = np.bincount(gate, minlength=cg.num_gates)
+        times_indptr = np.zeros(cg.num_gates + 1, dtype=np.int64)
+        np.cumsum(counts, out=times_indptr[1:])
         times = tuple(
-            np.asarray(times_from_mask(masks[name]), dtype=np.int64)
-            for name in circuit.gate_names
+            times_flat[times_indptr[g] : times_indptr[g + 1]]
+            for g in range(cg.num_gates)
         )
-        return cls(depth=circuit.depth, times=times)
+        return cls(
+            depth=cg.depth,
+            times=times,
+            times_flat=times_flat,
+            times_indptr=times_indptr,
+        )
 
     def profile(self, gate_indices, weights) -> np.ndarray:
         """Accumulate ``Σ weight[g]`` at each transition time of each
         selected gate — the raw material of both the current profile
-        (weights = peak currents) and the activity profile (weights = 1).
+        (weights = peak currents) and the activity profile
+        (``weights=None``: unit weight per gate).
+
+        One flattened ``np.add.at`` over the CSR times table; additions
+        happen in the same gate-by-gate order as the per-gate loop it
+        replaced, so float results are bit-identical.
         """
         out = np.zeros(self.depth + 1, dtype=np.float64)
-        for g in gate_indices:
-            out[self.times[g]] += weights[g]
+        gates = np.asarray(gate_indices, dtype=np.int64)
+        if gates.size == 0:
+            return out
+        slots, counts = csr_gather(self.times_indptr, self.times_flat, gates)
+        if slots.size == 0:
+            return out
+        if weights is None:  # unit weights: the activity profile
+            contributions = np.ones(len(slots), dtype=np.float64)
+        else:
+            contributions = np.repeat(
+                np.asarray(weights, dtype=np.float64)[gates], counts
+            )
+        np.add.at(out, slots, contributions)
         return out
+
+    def max_in_profile(self, gate_indices, profile: np.ndarray) -> np.ndarray:
+        """Per selected gate, the maximum of ``profile`` over that gate's
+        own transition times — the time-resolved ``n(g)`` of §5.4."""
+        gates = np.asarray(gate_indices, dtype=np.int64)
+        if gates.size == 0:
+            return np.empty(0, dtype=np.float64)
+        slots, counts = csr_gather(self.times_indptr, self.times_flat, gates)
+        # Every logic gate has at least one transition time, so reduceat
+        # segments are non-empty.
+        return np.maximum.reduceat(profile[slots], np.cumsum(counts) - counts)

@@ -11,7 +11,9 @@ stuck-at fault model, simulated bit-parallel.
 A stuck-at fault pins one net to 0 or 1; it is detected by a vector iff
 some primary output differs from the fault-free response.  Simulation is
 serial-fault (one faulty circuit re-simulated per fault) over packed
-64-pattern words, which is plenty fast for the benchmark sizes here.
+64-pattern words — each faulty simulation is one batched compiled-graph
+run with the fault net pinned, which is plenty fast for the benchmark
+sizes here.
 """
 
 from __future__ import annotations
@@ -21,10 +23,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import FaultSimError
 from repro.faultsim.logic_sim import LogicSimulator
+from repro.errors import FaultSimError
 from repro.netlist.circuit import Circuit
-from repro.netlist.gate import GateType
 
 __all__ = ["StuckAtFault", "StuckAtSimulator", "enumerate_stuck_at_faults"]
 
@@ -103,36 +104,8 @@ class StuckAtSimulator:
         """Re-simulate with ``fault.net`` pinned; returns output words."""
         if fault.net not in self.simulator.row_of:
             raise FaultSimError(f"unknown net {fault.net!r}")
-        circuit = self.circuit
-        num_patterns = patterns.shape[0]
-        num_words = (num_patterns + 63) // 64
-        packed = np.zeros((len(self.simulator.row_of), num_words), dtype=np.uint64)
-        row_of = self.simulator.row_of
-        ones = np.full(num_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
-        pinned = ones if fault.value else np.zeros(num_words, dtype=np.uint64)
-
-        for column, name in enumerate(circuit.input_names):
-            bits = np.zeros(num_words * 64, dtype=np.uint8)
-            bits[:num_patterns] = patterns[:, column] & 1
-            packed[row_of[name]] = np.packbits(bits, bitorder="little").view(np.uint64)
-        if circuit.gate(fault.net).gate_type.is_input:
-            packed[row_of[fault.net]] = pinned
-
-        for row, gate_type, fanins in self.simulator._schedule:
-            if row == row_of[fault.net]:
-                packed[row] = pinned
-                continue
-            acc = packed[fanins[0]].copy()
-            if gate_type in (GateType.AND, GateType.NAND):
-                for f in fanins[1:]:
-                    acc &= packed[f]
-            elif gate_type in (GateType.OR, GateType.NOR):
-                for f in fanins[1:]:
-                    acc |= packed[f]
-            elif gate_type in (GateType.XOR, GateType.XNOR):
-                for f in fanins[1:]:
-                    acc ^= packed[f]
-            if gate_type in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
-                acc ^= ones
-            packed[row] = acc
-        return [packed[row_of[name]].copy() for name in circuit.output_names]
+        values = self.simulator.simulate(patterns, pinned={fault.net: fault.value})
+        return [
+            values.packed[values.row_of[name]].copy()
+            for name in self.circuit.output_names
+        ]

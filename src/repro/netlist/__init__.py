@@ -9,6 +9,7 @@ stand-in) and a seeded synthetic generator for ISCAS85-profile circuits.
 
 from repro.netlist.gate import Gate, GateType
 from repro.netlist.circuit import Circuit, CircuitStats
+from repro.netlist.compiled import CompiledGraph, compile_circuit, csr_gather
 from repro.netlist.builder import CircuitBuilder
 from repro.netlist.bench import parse_bench, parse_bench_file, write_bench, write_bench_file
 from repro.netlist.benchmarks import (
@@ -32,6 +33,9 @@ __all__ = [
     "GateType",
     "Circuit",
     "CircuitStats",
+    "CompiledGraph",
+    "compile_circuit",
+    "csr_gather",
     "CircuitBuilder",
     "parse_bench",
     "parse_bench_file",

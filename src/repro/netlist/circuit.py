@@ -15,6 +15,7 @@ from functools import cached_property
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import NetlistError
+from repro.netlist.compiled import CompiledGraph, compile_circuit
 from repro.netlist.gate import Gate, GateType
 
 __all__ = ["Circuit", "CircuitStats"]
@@ -194,6 +195,17 @@ class Circuit:
         return {name: tuple(sorted(nbrs)) for name, nbrs in adjacency.items()}
 
     @cached_property
+    def compiled(self) -> CompiledGraph:
+        """The dense-array (CSR) form of this circuit.
+
+        Computed once and shared by every downstream kernel: the
+        bit-parallel simulator, the separation-matrix BFS, transition
+        times, levelised timing and the partitioner's boundary scans all
+        consume these arrays instead of re-walking the name-keyed dicts.
+        """
+        return compile_circuit(self)
+
+    @cached_property
     def gate_neighbors(self) -> tuple[tuple[int, ...], ...]:
         """Adjacency among *logic gates* in dense-index space.
 
@@ -202,17 +214,13 @@ class Circuit:
         boundary-gate detection and connected mutation moves (paper §4.2:
         a boundary gate "is directly connected to a gate outside" its
         module).
+
+        Legacy tuple-of-tuples view of the compiled CSR adjacency; hot
+        paths index :attr:`compiled`'s ``gate_adj_*`` arrays directly.
         """
-        index = self.gate_index
-        neighbours: list[set[int]] = [set() for _ in index]
-        for name, g in index.items():
-            gate = self._gates[name]
-            for fanin in gate.fanins:
-                fanin_idx = index.get(fanin)
-                if fanin_idx is not None:
-                    neighbours[g].add(fanin_idx)
-                    neighbours[fanin_idx].add(g)
-        return tuple(tuple(sorted(n)) for n in neighbours)
+        return tuple(
+            tuple(int(n) for n in row) for row in self.compiled.gate_neighbor_rows()
+        )
 
     @cached_property
     def gate_index(self) -> dict[str, int]:

@@ -1,0 +1,339 @@
+"""The :class:`CompiledGraph` kernel — the circuit DAG as dense arrays.
+
+Every downstream layer (bit-parallel simulation, the capped separation
+matrix, transition-time sets, levelised timing, partition evaluation)
+traverses the same gate graph.  Instead of each layer re-walking
+name-keyed dicts, a :class:`Circuit` compiles itself once into dense
+``int32`` indices plus CSR (compressed sparse row) connectivity tables,
+and every layer consumes those shared arrays:
+
+* **node space** — all nodes (primary inputs first-class), indexed by
+  position in :attr:`Circuit.all_names`;
+* **gate space** — logic gates only, indexed by
+  :attr:`Circuit.gate_index` (the space partition/evaluation works in);
+* **CSR tables** — directed fanin (declaration order preserved, which
+  matters for tie-breaking in path extraction), directed fanout,
+  undirected node adjacency, and undirected gate-gate adjacency
+  (sorted rows, matching :attr:`Circuit.gate_neighbors`);
+* **order** — topological order, unit-delay levels, and per-level gate
+  groups with ready-made ``reduceat`` offsets over the fanin table;
+* **simulation schedule** — per (level, base-op) batches with
+  rectangular fanin matrices (padded with identity rows) and per-gate
+  inversion words, so one gate evaluation step is a single vectorised
+  numpy reduction over a whole batch.
+
+Access it through :attr:`Circuit.compiled`; construction is cached and
+safe because circuits are immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.netlist.gate import GateType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "CompiledGraph",
+    "LevelGroup",
+    "SimGroup",
+    "compile_circuit",
+    "csr_gather",
+    "GATE_TYPE_CODES",
+    "OP_AND",
+    "OP_OR",
+    "OP_XOR",
+]
+
+#: Stable small-int code per gate type (index into this tuple).
+GATE_TYPE_CODES: tuple[GateType, ...] = (
+    GateType.INPUT,
+    GateType.BUF,
+    GateType.NOT,
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+
+_CODE_OF: dict[GateType, int] = {t: i for i, t in enumerate(GATE_TYPE_CODES)}
+
+#: Base bitwise operation codes for simulation groups.  BUF/NOT compile
+#: to one-input AND groups (padding with the all-ones identity row), so
+#: three ops cover every gate type; inversion is a per-gate XOR word.
+OP_AND = 0
+OP_OR = 1
+OP_XOR = 2
+
+_BASE_OP: dict[GateType, int] = {
+    GateType.BUF: OP_AND,
+    GateType.NOT: OP_AND,
+    GateType.AND: OP_AND,
+    GateType.NAND: OP_AND,
+    GateType.OR: OP_OR,
+    GateType.NOR: OP_OR,
+    GateType.XOR: OP_XOR,
+    GateType.XNOR: OP_XOR,
+}
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def csr_gather(
+    indptr: np.ndarray, indices: np.ndarray, keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated CSR rows: ``indices[indptr[k]:indptr[k+1]]`` for each
+    ``k`` in ``keys``, plus the per-key entry counts.
+
+    The workhorse of batched neighbourhood expansion: one call replaces a
+    Python loop over per-node adjacency lists.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    starts = indptr[keys].astype(np.int64)
+    counts = (indptr[keys + 1] - indptr[keys]).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype), counts
+    cum0 = np.cumsum(counts) - counts
+    pos = np.arange(total, dtype=np.int64) - np.repeat(cum0, counts)
+    return indices[np.repeat(starts, counts) + pos], counts
+
+
+@dataclass(frozen=True)
+class LevelGroup:
+    """All gates of one unit-delay level, with their fanins flattened.
+
+    ``offsets`` are ``reduceat`` segment starts into ``fanins`` (every
+    logic gate has at least one fanin, so segments are non-empty).
+    """
+
+    nodes: np.ndarray  # (g,) int32 node ids, gate file order
+    fanins: np.ndarray  # (e,) int32 fanin node ids, declaration order
+    offsets: np.ndarray  # (g,) int64 segment starts into ``fanins``
+
+    @property
+    def counts(self) -> np.ndarray:
+        return np.diff(np.append(self.offsets, len(self.fanins)))
+
+
+@dataclass(frozen=True)
+class SimGroup:
+    """One vectorised simulation step: a batch of same-level gates that
+    evaluate as ``invert ^ op.reduce(packed[src], axis=1)``."""
+
+    op: int  # OP_AND / OP_OR / OP_XOR
+    dst: np.ndarray  # (g,) int32 destination rows (node ids)
+    src: np.ndarray  # (g, width) int32 source rows; padded with identity rows
+    invert: np.ndarray  # (g, 1) uint64 — 0 or all-ones per gate
+
+
+@dataclass(frozen=True)
+class CompiledGraph:
+    """Dense-array view of one :class:`Circuit` (see module docstring)."""
+
+    # --- spaces
+    num_nodes: int
+    num_inputs: int
+    num_gates: int
+    type_code: np.ndarray  # (num_nodes,) int8, index into GATE_TYPE_CODES
+    node_gate: np.ndarray  # (num_nodes,) int32, dense gate id or -1
+    gate_node: np.ndarray  # (num_gates,) int32 node id per gate
+    input_node: np.ndarray  # (num_inputs,) int32 node id per primary input
+    # --- connectivity (node space)
+    fanin_indptr: np.ndarray  # (num_nodes + 1,) int32
+    fanin_indices: np.ndarray  # int32, declaration order within a row
+    fanout_indptr: np.ndarray
+    fanout_indices: np.ndarray
+    adj_indptr: np.ndarray  # undirected; rows sorted ascending
+    adj_indices: np.ndarray
+    # --- connectivity (gate space, undirected, rows sorted ascending)
+    gate_adj_indptr: np.ndarray
+    gate_adj_indices: np.ndarray
+    # --- order
+    topo: np.ndarray  # (num_nodes,) int32 node ids, inputs-first topological order
+    level: np.ndarray  # (num_nodes,) int32 unit-delay level (inputs 0)
+    gate_level: np.ndarray  # (num_gates,) int32
+    depth: int
+    level_groups: tuple[LevelGroup, ...]  # levels 1..depth
+    # --- simulation schedule
+    sim_groups: tuple[SimGroup, ...]
+    # Extra packed rows appended after the node rows: an all-zeros row
+    # (OR/XOR identity) and an all-ones row (AND identity).
+    zero_row: int
+    ones_row: int
+
+    # ------------------------------------------------------------- conveniences
+    @property
+    def num_sim_rows(self) -> int:
+        """Row count of a simulation state matrix (nodes + identity rows)."""
+        return self.num_nodes + 2
+
+    def gate_fanins(self, gate: int) -> np.ndarray:
+        """Fanin node ids of one gate (declaration order)."""
+        node = self.gate_node[gate]
+        return self.fanin_indices[self.fanin_indptr[node] : self.fanin_indptr[node + 1]]
+
+    def gate_neighbor_rows(self) -> Iterator[np.ndarray]:
+        """Per-gate undirected gate-space neighbour rows, gate order."""
+        for g in range(self.num_gates):
+            yield self.gate_adj_indices[
+                self.gate_adj_indptr[g] : self.gate_adj_indptr[g + 1]
+            ]
+
+
+def _csr_from_lists(rows: list[np.ndarray], dtype=np.int32) -> tuple[np.ndarray, np.ndarray]:
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum([len(r) for r in rows], out=indptr[1:])
+    indices = (
+        np.concatenate(rows).astype(dtype)
+        if indptr[-1]
+        else np.empty(0, dtype=dtype)
+    )
+    return indptr.astype(np.int32), indices
+
+
+def compile_circuit(circuit: "Circuit") -> CompiledGraph:
+    """Compile ``circuit`` into its dense-array form (see module docstring)."""
+    names = circuit.all_names
+    node_index = {name: i for i, name in enumerate(names)}
+    num_nodes = len(names)
+
+    gates = [circuit.gate(name) for name in names]
+    type_code = np.asarray([_CODE_OF[g.gate_type] for g in gates], dtype=np.int8)
+
+    gate_names = circuit.gate_names
+    num_gates = len(gate_names)
+    gate_node = np.asarray([node_index[n] for n in gate_names], dtype=np.int32)
+    node_gate = np.full(num_nodes, -1, dtype=np.int32)
+    node_gate[gate_node] = np.arange(num_gates, dtype=np.int32)
+    input_node = np.asarray(
+        [node_index[n] for n in circuit.input_names], dtype=np.int32
+    )
+
+    # Directed CSR tables (declaration order for fanins, file order for
+    # fanouts — both match the dict-based structure they replace).
+    fanin_rows = [
+        np.asarray([node_index[f] for f in g.fanins], dtype=np.int32) for g in gates
+    ]
+    fanin_indptr, fanin_indices = _csr_from_lists(fanin_rows)
+    fanouts = circuit.fanouts
+    fanout_rows = [
+        np.asarray([node_index[s] for s in fanouts[name]], dtype=np.int32)
+        for name in names
+    ]
+    fanout_indptr, fanout_indices = _csr_from_lists(fanout_rows)
+
+    # Undirected adjacency: union of fanins and fanouts, sorted by id.
+    adj_rows = [
+        np.unique(np.concatenate((fanin_rows[i], fanout_rows[i])))
+        if len(fanin_rows[i]) or len(fanout_rows[i])
+        else np.empty(0, dtype=np.int32)
+        for i in range(num_nodes)
+    ]
+    adj_indptr, adj_indices = _csr_from_lists(adj_rows)
+
+    # Gate-space undirected adjacency (primary inputs dropped), sorted —
+    # identical rows to the legacy ``Circuit.gate_neighbors`` tuples.
+    gate_adj_rows = []
+    for g in range(num_gates):
+        nbrs = node_gate[adj_rows[gate_node[g]]]
+        gate_adj_rows.append(np.unique(nbrs[nbrs >= 0]).astype(np.int32))
+    gate_adj_indptr, gate_adj_indices = _csr_from_lists(gate_adj_rows)
+
+    topo = np.asarray(
+        [node_index[n] for n in circuit.topological_order], dtype=np.int32
+    )
+    levels = circuit.levels
+    level = np.asarray([levels[n] for n in names], dtype=np.int32)
+    gate_level = level[gate_node]
+    depth = int(circuit.depth)
+
+    # Per-level gate groups in gate file order, with flattened fanins.
+    level_groups: list[LevelGroup] = []
+    for lvl in range(1, depth + 1):
+        sel = np.nonzero(gate_level == lvl)[0]
+        nodes = gate_node[sel]
+        rows = [fanin_rows[n] for n in nodes]
+        counts = np.asarray([len(r) for r in rows], dtype=np.int64)
+        offsets = np.cumsum(counts) - counts
+        fanins = (
+            np.concatenate(rows) if len(rows) else np.empty(0, dtype=np.int32)
+        )
+        level_groups.append(LevelGroup(nodes=nodes, fanins=fanins, offsets=offsets))
+
+    zero_row = num_nodes
+    ones_row = num_nodes + 1
+    sim_groups = _build_sim_groups(
+        level_groups, type_code, zero_row, ones_row
+    )
+
+    return CompiledGraph(
+        num_nodes=num_nodes,
+        num_inputs=len(input_node),
+        num_gates=num_gates,
+        type_code=type_code,
+        node_gate=node_gate,
+        gate_node=gate_node,
+        input_node=input_node,
+        fanin_indptr=fanin_indptr,
+        fanin_indices=fanin_indices,
+        fanout_indptr=fanout_indptr,
+        fanout_indices=fanout_indices,
+        adj_indptr=adj_indptr,
+        adj_indices=adj_indices,
+        gate_adj_indptr=gate_adj_indptr,
+        gate_adj_indices=gate_adj_indices,
+        topo=topo,
+        level=level,
+        gate_level=gate_level,
+        depth=depth,
+        level_groups=tuple(level_groups),
+        sim_groups=tuple(sim_groups),
+        zero_row=zero_row,
+        ones_row=ones_row,
+    )
+
+
+def _build_sim_groups(
+    level_groups: list[LevelGroup],
+    type_code: np.ndarray,
+    zero_row: int,
+    ones_row: int,
+) -> list[SimGroup]:
+    """Batch each level's gates by base op into rectangular fanin matrices.
+
+    Within a batch all gates share one bitwise reduction; shorter fanin
+    lists are padded with the op's identity row (all-ones for AND,
+    all-zeros for OR/XOR), and inverting types (NOT/NAND/NOR/XNOR) get an
+    all-ones inversion word applied after the reduction.
+    """
+    groups: list[SimGroup] = []
+    for lg in level_groups:
+        counts = lg.counts
+        buckets: dict[int, list[int]] = {}
+        for pos, node in enumerate(lg.nodes):
+            gt = GATE_TYPE_CODES[type_code[node]]
+            buckets.setdefault(_BASE_OP[gt], []).append(pos)
+        for op in sorted(buckets):
+            positions = buckets[op]
+            width = max(int(counts[p]) for p in positions)
+            pad = ones_row if op == OP_AND else zero_row
+            src = np.full((len(positions), width), pad, dtype=np.int32)
+            dst = np.empty(len(positions), dtype=np.int32)
+            invert = np.zeros((len(positions), 1), dtype=np.uint64)
+            for i, p in enumerate(positions):
+                node = lg.nodes[p]
+                dst[i] = node
+                start = lg.offsets[p]
+                src[i, : counts[p]] = lg.fanins[start : start + counts[p]]
+                if GATE_TYPE_CODES[type_code[node]].is_inverting:
+                    invert[i, 0] = _ALL_ONES
+            groups.append(SimGroup(op=op, dst=dst, src=src, invert=invert))
+    return groups

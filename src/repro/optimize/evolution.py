@@ -20,7 +20,10 @@ Costs are maintained incrementally: children copy their parent's
 :class:`~repro.partition.state.EvaluationState` and only the touched
 modules are re-evaluated (§4.2: "costs are recomputed just for the
 modified modules ... the partitions generated this way can be evaluated
-very efficiently").
+very efficiently").  The boundary-gate and connected-target queries the
+mutation operator leans on are batched CSR scans over the compiled
+graph (see DESIGN.md), so mutation cost stays proportional to module
+size, not circuit size.
 """
 
 from __future__ import annotations

@@ -59,7 +59,9 @@ def force_directed_partition(
     low = max(1, int(average * (1.0 - balance_slack)))
     high = max(low, int(average * (1.0 + balance_slack) + 0.999))
 
-    neighbours = circuit.gate_neighbors
+    compiled = circuit.compiled
+    adj_indptr = compiled.gate_adj_indptr
+    adj_indices = compiled.gate_adj_indices
     history: list[GenerationRecord] = []
     moves_total = 0
     for sweep in range(1, max_sweeps + 1):
@@ -70,9 +72,13 @@ def force_directed_partition(
             own = partition.module_of(gate)
             if partition.module_size(own) <= low:
                 continue  # the gate's module must not shrink below band
+            # One gather of the CSR row; rows are sorted, so the
+            # first-seen tie-break below matches the legacy tuple walk.
+            neighbour_modules = partition.modules_of(
+                adj_indices[adj_indptr[gate] : adj_indptr[gate + 1]]
+            )
             attraction: dict[int, int] = {}
-            for nbr in neighbours[gate]:
-                module = partition.module_of(nbr)
+            for module in neighbour_modules.tolist():
                 attraction[module] = attraction.get(module, 0) + 1
             own_pull = attraction.get(own, 0)
             best_module = own

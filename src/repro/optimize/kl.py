@@ -9,7 +9,10 @@ weighted cost via the incremental evaluation state, so KL is a fair
 same-objective baseline for the evolution strategy.
 
 KL preserves module sizes exactly (swaps only), which makes it a useful
-polish pass when balance must be held.
+polish pass when balance must be held.  Boundary-gate and
+neighbour-module queries run on the compiled graph's CSR gate adjacency
+(via :class:`~repro.partition.partition.Partition`), so candidate
+sampling stays cheap even on the Table 1 circuits.
 """
 
 from __future__ import annotations

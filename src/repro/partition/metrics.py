@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.netlist.circuit import Circuit
 from repro.partition.partition import Partition
 
@@ -40,19 +42,14 @@ class PartitionMetrics:
 
 def cut_edges(partition: Partition) -> tuple[int, int]:
     """(edges crossing modules, total gate-to-gate edges)."""
-    circuit = partition.circuit
-    neighbours = circuit.gate_neighbors
-    cut = 0
-    total = 0
-    for gate, adjacent in enumerate(neighbours):
-        own = partition.module_of(gate)
-        for nbr in adjacent:
-            if nbr <= gate:
-                continue  # count each undirected edge once
-            total += 1
-            if partition.module_of(nbr) != own:
-                cut += 1
-    return cut, total
+    cg = partition.circuit.compiled
+    degree = np.diff(cg.gate_adj_indptr)
+    src = np.repeat(np.arange(cg.num_gates, dtype=np.int64), degree)
+    dst = cg.gate_adj_indices.astype(np.int64)
+    once = dst > src  # count each undirected edge once
+    modules = partition.modules_of(np.arange(cg.num_gates, dtype=np.int64))
+    cut = int(np.count_nonzero(once & (modules[src] != modules[dst])))
+    return cut, int(np.count_nonzero(once))
 
 
 def module_components(partition: Partition, module: int) -> int:

@@ -7,16 +7,21 @@ inputs belong to no module (pads draw no quiescent current).
 
 Gates are handled as dense indices (:attr:`Circuit.gate_index`) so the
 hot operations — move a gate, query a module, find boundary gates — are
-integer/set work, and the numpy-based evaluators can index per-gate
-arrays directly.
+integer/array work, and the numpy-based evaluators can index per-gate
+arrays directly.  Membership lives in a dense ``int32`` array and the
+boundary/neighbour scans expand the compiled graph's gate-space CSR
+adjacency in one vectorised gather instead of walking per-gate tuples.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.errors import PartitionError
 from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import csr_gather
 
 __all__ = ["Partition"]
 
@@ -41,7 +46,7 @@ class Partition:
                 f"assignment must cover exactly the {n} logic gates; "
                 f"missing={missing} extra={extra}"
             )
-        self._module_of: list[int] = [0] * n
+        self._module_of: np.ndarray = np.zeros(n, dtype=np.int32)
         self._modules: dict[int, set[int]] = {}
         for gate, module in assignment.items():
             self._module_of[gate] = module
@@ -74,7 +79,7 @@ class Partition:
     def copy(self) -> "Partition":
         clone = object.__new__(Partition)
         clone.circuit = self.circuit
-        clone._module_of = list(self._module_of)
+        clone._module_of = self._module_of.copy()
         clone._modules = {mid: set(gates) for mid, gates in self._modules.items()}
         clone._next_id = self._next_id
         return clone
@@ -89,10 +94,14 @@ class Partition:
         return tuple(self._modules)
 
     def module_of(self, gate: int) -> int:
-        return self._module_of[gate]
+        return int(self._module_of[gate])
+
+    def modules_of(self, gates: np.ndarray) -> np.ndarray:
+        """Module ids of a batch of dense gate indices (vectorised)."""
+        return self._module_of[gates]
 
     def module_of_name(self, name: str) -> int:
-        return self._module_of[self.circuit.gate_index[name]]
+        return int(self._module_of[self.circuit.gate_index[name]])
 
     def gates_of(self, module: int) -> frozenset[int]:
         try:
@@ -107,27 +116,35 @@ class Partition:
             raise PartitionError(f"no module {module}") from None
 
     def boundary_gates(self, module: int) -> list[int]:
-        """Gates of ``module`` directly connected to a gate outside it."""
+        """Gates of ``module`` directly connected to a gate outside it.
+
+        One batched CSR expansion over the module's gates; the returned
+        order matches iteration over the module's gate set.
+        """
         gates = self._modules.get(module)
         if gates is None:
             raise PartitionError(f"no module {module}")
-        neighbours = self.circuit.gate_neighbors
-        module_of = self._module_of
-        return [
-            g
-            for g in gates
-            if any(module_of[nbr] != module for nbr in neighbours[g])
-        ]
+        if not gates:
+            return []
+        cg = self.circuit.compiled
+        gs = np.fromiter(gates, dtype=np.int64, count=len(gates))
+        neighbours, counts = csr_gather(cg.gate_adj_indptr, cg.gate_adj_indices, gs)
+        external = self._module_of[neighbours] != module
+        per_gate = np.repeat(np.arange(len(gs)), counts)
+        has_external = np.bincount(per_gate[external], minlength=len(gs)) > 0
+        flags = np.zeros(len(self._module_of), dtype=bool)
+        flags[gs[has_external]] = True
+        return [g for g in gates if flags[g]]
 
     def neighbor_modules(self, gate: int) -> tuple[int, ...]:
         """Distinct modules (other than the gate's own) adjacent to ``gate``."""
+        cg = self.circuit.compiled
+        row = cg.gate_adj_indices[
+            cg.gate_adj_indptr[gate] : cg.gate_adj_indptr[gate + 1]
+        ]
+        modules = np.unique(self._module_of[row])
         own = self._module_of[gate]
-        seen: set[int] = set()
-        for nbr in self.circuit.gate_neighbors[gate]:
-            module = self._module_of[nbr]
-            if module != own:
-                seen.add(module)
-        return tuple(sorted(seen))
+        return tuple(int(m) for m in modules if m != own)
 
     def as_name_groups(self) -> tuple[frozenset[str], ...]:
         """Module contents as frozensets of gate names, for reports/tests.
@@ -189,8 +206,7 @@ class Partition:
         gates = self._modules.get(absorb)
         if gates is None or keep not in self._modules:
             raise PartitionError(f"unknown module in merge({keep}, {absorb})")
-        for gate in gates:
-            self._module_of[gate] = keep
+        self._module_of[np.fromiter(gates, dtype=np.int64, count=len(gates))] = keep
         self._modules[keep].update(gates)
         del self._modules[absorb]
 

@@ -198,10 +198,7 @@ class EvaluationState:
             )
             self._sensors[module] = sensor
             if ctx.time_resolved_degradation:
-                activity = stats.activity_profile
-                n = np.asarray(
-                    [float(activity[ctx.times.times[g]].max()) for g in gates]
-                )
+                n = ctx.times.max_in_profile(gates, stats.activity_profile)
             else:
                 n = float(stats.activity_profile.max())
             delta = ctx.degradation.delta(

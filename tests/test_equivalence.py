@@ -1,0 +1,324 @@
+"""Compiled-kernel vs reference equivalence (bit-for-bit).
+
+The compiled-graph refactor keeps the original per-gate/dict-based
+implementations around as executable specifications.  These tests drive
+randomly generated circuits (``netlist/generate.py``), the exact C17,
+the Figure 2 wave array, and benchmark stand-ins through both paths and
+assert *exact* agreement: same packed simulation words, same separation
+matrix, same transition masks, same arrival times and critical paths,
+same cost breakdowns.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.paths import extract_critical_path
+from repro.analysis.separation import SeparationMatrix, reference_separation_matrix
+from repro.analysis.timing import LevelizedTiming
+from repro.analysis.transition_times import (
+    TransitionTimes,
+    times_from_mask,
+    transition_mask_words,
+    transition_time_masks,
+)
+from repro.faultsim.logic_sim import LogicSimulator, ReferenceLogicSimulator
+from repro.faultsim.patterns import random_patterns
+from repro.netlist.arrays import wave_array
+from repro.netlist.benchmarks import c17, load_iscas85
+from repro.netlist.gate import evaluate_gate
+from repro.netlist.generate import GeneratorConfig, generate_iscas_like
+from repro.partition.evaluator import PartitionEvaluator
+from repro.partition.metrics import cut_edges
+from repro.partition.partition import Partition
+
+
+def _generated(seed: int, gates: int = 140, depth: int = 10):
+    return generate_iscas_like(
+        GeneratorConfig(
+            name=f"eq{seed}", num_gates=gates, num_inputs=12, num_outputs=8,
+            depth=depth, seed=seed,
+        )
+    )
+
+
+@pytest.fixture(
+    scope="module",
+    params=["c17", "wave", "gen3", "gen4", "c880"],
+)
+def circuit(request):
+    if request.param == "c17":
+        return c17()
+    if request.param == "wave":
+        return wave_array(4, 5).circuit
+    if request.param == "c880":
+        return load_iscas85("c880")
+    return _generated(int(request.param[3:]))
+
+
+def _random_partition(circuit, k: int, seed: int) -> Partition:
+    rng = random.Random(seed)
+    n = len(circuit.gate_names)
+    assignment = {g: rng.randrange(k) for g in range(n)}
+    for module in range(min(k, n)):  # guarantee non-empty modules
+        assignment[module] = module
+    return Partition(circuit, assignment)
+
+
+class TestLogicSimEquivalence:
+    def test_packed_words_identical(self, circuit):
+        patterns = random_patterns(len(circuit.input_names), 500, seed=11)
+        compiled = LogicSimulator(circuit).simulate(patterns)
+        reference = ReferenceLogicSimulator(circuit).simulate(patterns)
+        assert np.array_equal(compiled.packed, reference.packed)
+        assert compiled.row_of == reference.row_of
+
+    def test_unpack_identical(self, circuit):
+        patterns = random_patterns(len(circuit.input_names), 70, seed=12)
+        compiled = LogicSimulator(circuit).simulate(patterns)
+        reference = ReferenceLogicSimulator(circuit).simulate(patterns)
+        nodes = circuit.output_names
+        assert np.array_equal(compiled.unpack(nodes), reference.unpack(nodes))
+
+    def test_pinned_simulation_matches_scalar_reference(self):
+        circuit = _generated(9, gates=60, depth=6)
+        patterns = random_patterns(len(circuit.input_names), 48, seed=13)
+        sim = LogicSimulator(circuit)
+        rng = random.Random(5)
+        nets = [rng.choice(circuit.all_names) for _ in range(4)]
+        for net, value in zip(nets, (0, 1, 1, 0)):
+            values = sim.simulate(patterns, pinned={net: value})
+            scalar = self._scalar_pinned(circuit, patterns, net, value)
+            for name in circuit.all_names:
+                assert np.array_equal(values.node_bits(name), scalar[name]), (net, name)
+
+    @staticmethod
+    def _scalar_pinned(circuit, patterns, net, value):
+        """Per-pattern scalar evaluation with one net pinned."""
+        out = {}
+        for column, name in enumerate(circuit.input_names):
+            out[name] = (patterns[:, column] & 1).astype(np.uint8)
+        if net in out:
+            out[net] = np.full(patterns.shape[0], value, dtype=np.uint8)
+        for name in circuit.topological_order:
+            gate = circuit.gate(name)
+            if gate.gate_type.is_input:
+                continue
+            if name == net:
+                out[name] = np.full(patterns.shape[0], value, dtype=np.uint8)
+                continue
+            out[name] = np.asarray(
+                [
+                    evaluate_gate(
+                        gate.gate_type, [int(out[f][p]) for f in gate.fanins]
+                    )
+                    for p in range(patterns.shape[0])
+                ],
+                dtype=np.uint8,
+            )
+        return out
+
+
+class TestSeparationEquivalence:
+    @pytest.mark.parametrize("cap", [1, 3, 10])
+    def test_matrix_identical(self, circuit, cap):
+        assert np.array_equal(
+            SeparationMatrix(circuit, cap).matrix,
+            reference_separation_matrix(circuit, cap),
+        )
+
+    @pytest.mark.slow
+    def test_matrix_identical_c7552(self):
+        circuit = load_iscas85("c7552")
+        assert np.array_equal(
+            SeparationMatrix(circuit, 10).matrix,
+            reference_separation_matrix(circuit, 10),
+        )
+
+
+class TestTransitionTimeEquivalence:
+    def test_mask_words_match_integer_masks(self, circuit):
+        reference = transition_time_masks(circuit)
+        words = transition_mask_words(circuit)
+        for i, name in enumerate(circuit.all_names):
+            assert int.from_bytes(words[i].tobytes(), "little") == reference[name]
+
+    def test_times_and_csr_match_reference_masks(self, circuit):
+        reference = transition_time_masks(circuit)
+        times = TransitionTimes.compute(circuit)
+        for g, name in enumerate(circuit.gate_names):
+            expected = np.asarray(times_from_mask(reference[name]), dtype=np.int64)
+            assert np.array_equal(times.times[g], expected)
+            assert np.array_equal(
+                times.times_flat[times.times_indptr[g] : times.times_indptr[g + 1]],
+                expected,
+            )
+
+    def test_profile_matches_per_gate_loop(self, circuit):
+        times = TransitionTimes.compute(circuit)
+        n = len(circuit.gate_names)
+        rng = np.random.default_rng(3)
+        weights = rng.random(n)
+        gates = rng.permutation(n)[: max(1, n // 3)]
+        expected = np.zeros(times.depth + 1)
+        for g in gates:
+            expected[times.times[g]] += weights[g]
+        assert np.array_equal(times.profile(gates, weights), expected)
+
+    def test_max_in_profile_matches_per_gate_loop(self, circuit):
+        times = TransitionTimes.compute(circuit)
+        n = len(circuit.gate_names)
+        rng = np.random.default_rng(4)
+        profile = rng.random(times.depth + 1)
+        gates = rng.permutation(n)[: max(1, n // 2)]
+        expected = np.asarray([float(profile[times.times[g]].max()) for g in gates])
+        assert np.array_equal(times.max_in_profile(gates, profile), expected)
+
+
+class TestTimingEquivalence:
+    def test_arrival_times_match_dict_longest_path(self, circuit):
+        n = len(circuit.gate_names)
+        rng = np.random.default_rng(5)
+        delays = np.round(rng.random(n) * 2, 1)  # rounded to provoke ties
+        arrival = LevelizedTiming(circuit).arrival_times(delays)
+        index = circuit.gate_index
+        expected: dict[str, float] = {}
+        for name in circuit.topological_order:
+            gate = circuit.gate(name)
+            if gate.gate_type.is_input:
+                expected[name] = 0.0
+            else:
+                expected[name] = float(delays[index[name]]) + max(
+                    expected[f] for f in gate.fanins
+                )
+        for name, g in index.items():
+            assert arrival[g] == expected[name]
+
+    def test_critical_path_matches_dict_walk(self, circuit):
+        n = len(circuit.gate_names)
+        rng = np.random.default_rng(6)
+        delays = np.round(rng.random(n) * 2, 1)
+        got = extract_critical_path(circuit, delays)
+        index = circuit.gate_index
+        arrival: dict[str, float] = {}
+        predecessor: dict[str, str | None] = {}
+        for name in circuit.topological_order:
+            gate = circuit.gate(name)
+            if gate.gate_type.is_input:
+                arrival[name] = 0.0
+                predecessor[name] = None
+                continue
+            best_fanin, best_arrival = None, -1.0
+            for fanin in gate.fanins:
+                if arrival[fanin] > best_arrival:
+                    best_arrival, best_fanin = arrival[fanin], fanin
+            arrival[name] = best_arrival + float(delays[index[name]])
+            predecessor[name] = best_fanin
+        end = max(circuit.gate_names, key=lambda name: (arrival[name], name))
+        path: list[str] = []
+        cursor: str | None = end
+        while cursor is not None and not circuit.gate(cursor).gate_type.is_input:
+            path.append(cursor)
+            cursor = predecessor[cursor]
+        path.reverse()
+        assert got.gates == tuple(path)
+        assert got.delay == arrival[end]
+        assert got.start_input == cursor
+
+
+class TestPartitionEquivalence:
+    def test_boundary_and_neighbor_queries_match_tuple_walk(self, circuit):
+        partition = _random_partition(circuit, 4, seed=7)
+        neighbours = circuit.gate_neighbors
+        for module in partition.module_ids:
+            expected = [
+                g
+                for g in partition._modules[module]
+                if any(partition.module_of(nbr) != module for nbr in neighbours[g])
+            ]
+            assert partition.boundary_gates(module) == expected
+        for gate in range(len(circuit.gate_names)):
+            own = partition.module_of(gate)
+            expected_mods = tuple(
+                sorted({partition.module_of(n) for n in neighbours[gate]} - {own})
+            )
+            assert partition.neighbor_modules(gate) == expected_mods
+
+    def test_cut_edges_match_pair_loop(self, circuit):
+        partition = _random_partition(circuit, 3, seed=8)
+        neighbours = circuit.gate_neighbors
+        cut = total = 0
+        for gate, adjacent in enumerate(neighbours):
+            for nbr in adjacent:
+                if nbr <= gate:
+                    continue
+                total += 1
+                if partition.module_of(nbr) != partition.module_of(gate):
+                    cut += 1
+        assert cut_edges(partition) == (cut, total)
+
+    def test_cost_breakdown_matches_reference_kernels(self, circuit):
+        """Evaluator with every compiled kernel swapped for its reference
+        implementation produces the exact same cost breakdown."""
+        partition = _random_partition(circuit, 3, seed=9)
+        evaluator = PartitionEvaluator(circuit)
+        breakdown = evaluator.evaluate(partition).breakdown
+
+        reference = PartitionEvaluator(circuit)
+        reference.separation.matrix = reference_separation_matrix(
+            circuit, reference.technology.separation_cap
+        )
+        masks = transition_time_masks(circuit)
+        reference.times = TransitionTimes(
+            depth=circuit.depth,
+            times=tuple(
+                np.asarray(times_from_mask(masks[name]), dtype=np.int64)
+                for name in circuit.gate_names
+            ),
+        )
+        ref_breakdown = reference.evaluate(partition).breakdown
+        assert breakdown.c1_area == ref_breakdown.c1_area
+        assert breakdown.c2_delay == ref_breakdown.c2_delay
+        assert breakdown.c3_separation == ref_breakdown.c3_separation
+        assert breakdown.c4_test_time == ref_breakdown.c4_test_time
+        assert breakdown.c5_modules == ref_breakdown.c5_modules
+        assert breakdown.total == ref_breakdown.total
+
+    def test_time_resolved_breakdown_matches_reference_times(self, circuit):
+        """The §5.4 time-resolved path works (and agrees) with a CSR-less
+        reference TransitionTimes swapped in."""
+        partition = _random_partition(circuit, 3, seed=11)
+        evaluator = PartitionEvaluator(circuit, time_resolved_degradation=True)
+        breakdown = evaluator.evaluate(partition).breakdown
+
+        reference = PartitionEvaluator(circuit, time_resolved_degradation=True)
+        masks = transition_time_masks(circuit)
+        reference.times = TransitionTimes(
+            depth=circuit.depth,
+            times=tuple(
+                np.asarray(times_from_mask(masks[name]), dtype=np.int64)
+                for name in circuit.gate_names
+            ),
+        )
+        ref_breakdown = reference.evaluate(partition).breakdown
+        assert breakdown.total == ref_breakdown.total
+
+    def test_incremental_state_consistency_after_random_moves(self, circuit):
+        evaluator = PartitionEvaluator(circuit)
+        state = evaluator.new_state(_random_partition(circuit, 3, seed=10))
+        rng = random.Random(10)
+        n = len(circuit.gate_names)
+        for _ in range(30):
+            gate = rng.randrange(n)
+            targets = [
+                m
+                for m in state.partition.module_ids
+                if m != state.partition.module_of(gate)
+            ]
+            if not targets:
+                break
+            state.move_gate(gate, rng.choice(targets))
+        state.consistency_check()
