@@ -1,6 +1,6 @@
 """Regenerate the paper's Table 1: evolution vs standard partitioning.
 
-For each ISCAS85 circuit (or its documented stand-in, DESIGN.md §5) the
+For each ISCAS85 circuit (or its documented stand-in, DESIGN.md §6) the
 evolution strategy partitions the CUT; the §5 "standard partitioning"
 baseline then builds a partition with the same module count, and the two
 are compared on BIC sensor area, delay overhead and test time.

@@ -182,7 +182,7 @@ class TransitionTimes:
 
     def max_in_profile(self, gate_indices, profile: np.ndarray) -> np.ndarray:
         """Per selected gate, the maximum of ``profile`` over that gate's
-        own transition times — the time-resolved ``n(g)`` of §5.4."""
+        own transition times — the time-resolved ``n(g)`` of DESIGN.md §6.4."""
         gates = np.asarray(gate_indices, dtype=np.int64)
         if gates.size == 0:
             return np.empty(0, dtype=np.float64)

@@ -5,7 +5,7 @@
   caught in a local minimum";
 * incremental vs from-scratch cost evaluation — §4.2's claim that
   partitions "can be evaluated very efficiently";
-* first- vs second-order delay degradation model — DESIGN.md §5.4's
+* first- vs second-order delay degradation model — DESIGN.md §6.4's
   claim that the cost *ordering* is insensitive to the model order;
 * cost-weight sensitivity — §5's weighting of the design space
   Speed-Area-Testability;

@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 
 from repro.experiments.catalog import ExperimentResult
-from repro.faultsim.coverage import evaluate_coverage
+from repro.faultsim.engine import CoverageEngine
 from repro.faultsim.faults import (
     sample_bridging_faults,
     sample_gate_oxide_shorts,
@@ -62,7 +62,9 @@ def run_complement(quick: bool = True, seed: int = 8) -> ExperimentResult:
         + sample_gate_oxide_shorts(circuit, 30, seed=seed + 2, current_range_ua=(2.0, 50.0))
         + sample_stuck_on_transistors(circuit, 30, seed=seed + 3, current_range_ua=(2.0, 50.0))
     )
-    iddq_report = evaluate_coverage(circuit, partition, defects, patterns)
+    iddq_report = CoverageEngine(circuit).evaluate_coverage(
+        partition, defects, patterns
+    )
 
     # The IDDQ-class defects invisible to the voltage test: gate-oxide
     # shorts and stuck-on transistors do not (to first order) change the

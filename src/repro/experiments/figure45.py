@@ -18,7 +18,7 @@ detection threshold down (:func:`c17_demo_technology`) so that
 discriminability caps modules at five gates — K >= 2, as in the figure.
 
 The demo uses the *first-order* delay degradation model: the paper's
-exact second-order expression is lost to OCR (DESIGN.md §5.4), and on a
+exact second-order expression is lost to OCR (DESIGN.md §6.4), and on a
 six-gate circuit the reconstructed second-order model's Cs damping term
 rewards lopsided modules enough to shift the optimum.  Under the
 first-order model the exhaustive minimum coincides exactly with the

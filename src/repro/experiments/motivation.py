@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 
 from repro.experiments.catalog import ExperimentResult
-from repro.faultsim.coverage import evaluate_coverage
+from repro.faultsim.engine import CoverageEngine
 from repro.faultsim.faults import sample_bridging_faults, sample_gate_oxide_shorts
 from repro.faultsim.patterns import random_patterns
 from repro.netlist.benchmarks import load_iscas85
@@ -44,8 +44,11 @@ def run_motivation_coverage(quick: bool = True, seed: int = 3) -> ExperimentResu
     ) + sample_gate_oxide_shorts(circuit, 40, seed=seed + 1, current_range_ua=(0.5, 8.0))
     patterns = random_patterns(len(circuit.input_names), 128 if quick else 512, seed=seed)
 
-    report_single = evaluate_coverage(circuit, single, defects, patterns)
-    report_multi = evaluate_coverage(circuit, partitioned, defects, patterns)
+    # One engine serves both configurations: the fault-free simulation
+    # and leakage matrix are shared, only the module grouping differs.
+    engine = CoverageEngine(circuit)
+    report_single = engine.evaluate_coverage(single, defects, patterns)
+    report_multi = engine.evaluate_coverage(partitioned, defects, patterns)
 
     rows = [
         [

@@ -7,7 +7,7 @@ evolution based algorithm") and compare BIC sensor area, delay overhead
 and test-application-time overhead.
 
 Paper outcome to reproduce (shape, not absolute numbers — our cell
-characterisation and circuit stand-ins differ, see DESIGN.md §5):
+characterisation and circuit stand-ins differ, see DESIGN.md §6):
 standard partitioning needs 14.5 %-30.6 % more sensor hardware while
 delay and test time come out essentially equal between the methods.
 """

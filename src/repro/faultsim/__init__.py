@@ -13,8 +13,9 @@ claim is demonstrated rather than assumed:
   transistors (:mod:`~repro.faultsim.faults`);
 * per-vector, per-module quiescent current computation
   (:mod:`~repro.faultsim.iddq`);
-* coverage evaluation under a partition and threshold
-  (:mod:`~repro.faultsim.coverage`);
+* coverage evaluation under a partition and threshold — the one-shot
+  reference in :mod:`~repro.faultsim.coverage`, the cached vectorised
+  :class:`~repro.faultsim.engine.CoverageEngine` for hot paths;
 * pattern generation/compaction (:mod:`~repro.faultsim.patterns`) and
   the test-application-time model (:mod:`~repro.faultsim.testtime`).
 """
@@ -30,9 +31,24 @@ from repro.faultsim.faults import (
     sample_stuck_on_transistors,
 )
 from repro.faultsim.iddq import IDDQSimulator
-from repro.faultsim.atpg import IDDQTestSet, generate_iddq_tests
-from repro.faultsim.quality import QualityReport, defect_level, quality_from_coverage
-from repro.faultsim.stuck_at import StuckAtFault, StuckAtSimulator, enumerate_stuck_at_faults
+from repro.faultsim.engine import CoverageEngine
+from repro.faultsim.atpg import (
+    IDDQTestSet,
+    generate_iddq_tests,
+    reference_generate_iddq_tests,
+)
+from repro.faultsim.quality import (
+    QualityReport,
+    defect_level,
+    quality_from_coverage,
+    quality_from_defects,
+)
+from repro.faultsim.stuck_at import (
+    ReferenceStuckAtSimulator,
+    StuckAtFault,
+    StuckAtSimulator,
+    enumerate_stuck_at_faults,
+)
 from repro.faultsim.coverage import CoverageReport, evaluate_coverage
 from repro.faultsim.patterns import exhaustive_patterns, random_patterns, compact_patterns
 from repro.faultsim.testtime import test_application_time
@@ -48,13 +64,17 @@ __all__ = [
     "sample_gate_oxide_shorts",
     "sample_stuck_on_transistors",
     "IDDQSimulator",
+    "CoverageEngine",
     "IDDQTestSet",
     "generate_iddq_tests",
+    "reference_generate_iddq_tests",
     "QualityReport",
     "defect_level",
     "quality_from_coverage",
+    "quality_from_defects",
     "StuckAtFault",
     "StuckAtSimulator",
+    "ReferenceStuckAtSimulator",
     "enumerate_stuck_at_faults",
     "CoverageReport",
     "evaluate_coverage",

@@ -14,6 +14,15 @@ with
 3. a **compaction phase** — greedy set cover keeps a minimal subset
    preserving coverage.
 
+The search runs on a persistent
+:class:`~repro.faultsim.engine.CoverageEngine`: one engine per
+generation call, so each hill-climb step costs one simulation of the
+flip-neighbourhood batch against the cached leak tables and module
+grouping instead of a full simulator rebuild.
+:func:`reference_generate_iddq_tests` drives the identical search
+through the one-shot reference ``detection_matrix`` — the equivalence
+suite asserts both return the same test set, bit for bit.
+
 IDDQ test generation is fundamentally easier than logic ATPG: a defect
 needs only to be *activated* (no propagation to an output), which is why
 small vector sets reach high coverage — the property the paper's test
@@ -24,12 +33,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.errors import FaultSimError
 from repro.faultsim.coverage import detection_matrix
+from repro.faultsim.engine import CoverageEngine
 from repro.faultsim.faults import Defect
 from repro.faultsim.patterns import compact_patterns, random_patterns
 from repro.library.library import CellLibrary
@@ -37,7 +47,10 @@ from repro.library.technology import Technology
 from repro.netlist.circuit import Circuit
 from repro.partition.partition import Partition
 
-__all__ = ["IDDQTestSet", "generate_iddq_tests"]
+__all__ = ["IDDQTestSet", "generate_iddq_tests", "reference_generate_iddq_tests"]
+
+#: ``detect(defects, patterns) -> (defects, patterns)`` boolean matrix.
+Detector = Callable[[Sequence[Defect], np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -86,6 +99,7 @@ def generate_iddq_tests(
     restarts: int = 4,
     flip_budget: int = 24,
     compact: bool = True,
+    engine: CoverageEngine | None = None,
 ) -> IDDQTestSet:
     """Generate and compact an IDDQ test set for ``defects``.
 
@@ -95,14 +109,77 @@ def generate_iddq_tests(
             phase.
         flip_budget: maximum greedy single-bit flips per restart.
         compact: greedily minimise the final vector set.
+        engine: reuse an existing :class:`CoverageEngine` (one is built
+            when omitted; mutually exclusive with ``library`` /
+            ``technology``, which a passed engine already carries).
     """
+    if engine is not None and (library is not None or technology is not None):
+        raise FaultSimError(
+            "pass either an engine or a library/technology, not both — "
+            "the engine already carries its own characterisation"
+        )
+    engine = engine or CoverageEngine(circuit, library, technology)
+    return _generate(
+        lambda ds, ps: engine.detection_matrix(partition, ds, ps),
+        circuit,
+        defects,
+        seed,
+        random_vectors,
+        restarts,
+        flip_budget,
+        compact,
+    )
+
+
+def reference_generate_iddq_tests(
+    circuit: Circuit,
+    partition: Partition,
+    defects: Sequence[Defect],
+    library: CellLibrary | None = None,
+    technology: Technology | None = None,
+    seed: int = 0,
+    random_vectors: int = 128,
+    restarts: int = 4,
+    flip_budget: int = 24,
+    compact: bool = True,
+) -> IDDQTestSet:
+    """The identical search through the one-shot reference detector.
+
+    Every detection call rebuilds the IDDQ simulator from scratch — the
+    pre-engine behaviour, kept as the executable specification and the
+    benchmark baseline.
+    """
+    return _generate(
+        lambda ds, ps: detection_matrix(
+            circuit, partition, ds, ps, library, technology
+        ),
+        circuit,
+        defects,
+        seed,
+        random_vectors,
+        restarts,
+        flip_budget,
+        compact,
+    )
+
+
+def _generate(
+    detect: Detector,
+    circuit: Circuit,
+    defects: Sequence[Defect],
+    seed: int,
+    random_vectors: int,
+    restarts: int,
+    flip_budget: int,
+    compact: bool,
+) -> IDDQTestSet:
     if not defects:
         raise FaultSimError("no defects to target")
     num_inputs = len(circuit.input_names)
     rng = random.Random(seed)
 
     pool = random_patterns(num_inputs, random_vectors, seed=seed)
-    matrix = detection_matrix(circuit, partition, defects, pool, library, technology)
+    matrix = detect(defects, pool)
     detected = matrix.any(axis=1)
     random_count = int(detected.sum())
 
@@ -113,15 +190,7 @@ def generate_iddq_tests(
         if detected[d]:
             continue
         vector = _search_activating_vector(
-            circuit,
-            partition,
-            defect,
-            library,
-            technology,
-            rng,
-            num_inputs,
-            restarts,
-            flip_budget,
+            detect, defect, rng, num_inputs, restarts, flip_budget
         )
         if vector is not None:
             extra_vectors.append(vector)
@@ -129,9 +198,7 @@ def generate_iddq_tests(
 
     if extra_vectors:
         pool = np.vstack([pool, np.stack(extra_vectors)])
-        matrix = detection_matrix(
-            circuit, partition, defects, pool, library, technology
-        )
+        matrix = detect(defects, pool)
         detected = matrix.any(axis=1)
 
     if compact:
@@ -156,11 +223,8 @@ def generate_iddq_tests(
 
 
 def _search_activating_vector(
-    circuit: Circuit,
-    partition: Partition,
+    detect: Detector,
     defect: Defect,
-    library,
-    technology,
     rng: random.Random,
     num_inputs: int,
     restarts: int,
@@ -181,9 +245,7 @@ def _search_activating_vector(
             batch = np.tile(vector, (num_inputs + 1, 1))
             for bit in range(num_inputs):
                 batch[bit + 1, bit] ^= 1
-            hits = detection_matrix(
-                circuit, partition, [defect], batch, library, technology
-            )[0]
+            hits = detect([defect], batch)[0]
             if hits[0]:
                 return vector
             winners = np.flatnonzero(hits[1:])

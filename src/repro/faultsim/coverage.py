@@ -16,6 +16,12 @@ This is exactly why the paper partitions: one global sensor on a large
 CUT has a big background, hence a raised threshold, hence misses small
 defect currents; per-module sensors keep ``th_eff == IDDQ_th`` (that is
 the discriminability constraint Γ) and catch them.
+
+:func:`detection_matrix` / :func:`evaluate_coverage` here are one-shot
+*reference* implementations (fresh simulator, per-defect Python loop).
+Hot paths — test generation, the experiments — run on the cached,
+vectorised :class:`~repro.faultsim.engine.CoverageEngine`, which must
+reproduce these functions exactly (asserted by the equivalence suite).
 """
 
 from __future__ import annotations

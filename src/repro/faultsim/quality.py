@@ -16,11 +16,22 @@ into a defect-level (DPM) reduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import FaultSimError
 from repro.faultsim.coverage import CoverageReport
+from repro.faultsim.engine import CoverageEngine
+from repro.faultsim.faults import Defect
+from repro.partition.partition import Partition
 
-__all__ = ["QualityReport", "defect_level", "quality_from_coverage"]
+__all__ = [
+    "QualityReport",
+    "defect_level",
+    "quality_from_coverage",
+    "quality_from_defects",
+]
 
 
 def defect_level(yield_fraction: float, fault_coverage: float) -> float:
@@ -67,3 +78,20 @@ def quality_from_coverage(
         yield_fraction=yield_fraction,
         defect_level=dl,
     )
+
+
+def quality_from_defects(
+    engine: CoverageEngine,
+    partition: Partition,
+    defects: Sequence[Defect],
+    patterns: np.ndarray,
+    yield_fraction: float = 0.9,
+) -> QualityReport:
+    """Defect level of a (partition, defect list, pattern set) triple.
+
+    Runs the coverage evaluation on a persistent
+    :class:`~repro.faultsim.engine.CoverageEngine`, so sweeping yields
+    or partitions against one engine re-simulates nothing.
+    """
+    report = engine.evaluate_coverage(partition, defects, patterns)
+    return quality_from_coverage(report, yield_fraction)

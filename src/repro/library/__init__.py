@@ -6,7 +6,7 @@ holds that information: per-cell electrical characterisation
 (:class:`~repro.library.cell.CellSpec`), global technology constants
 (:class:`~repro.library.technology.Technology`) and a generic CMOS-like
 default characterisation standing in for the paper's SPICE data
-(DESIGN.md §5.2).
+(DESIGN.md §6.2).
 """
 
 from repro.library.cell import CellSpec

@@ -1,7 +1,7 @@
 """Generic CMOS-like default characterisation.
 
 This module is the documented stand-in for the paper's SPICE-characterised
-target library (DESIGN.md §5.2).  The magnitudes are chosen to be
+target library (DESIGN.md §6.2).  The magnitudes are chosen to be
 physically plausible for the paper's era (0.7 um-class CMOS, VDD = 5 V)
 and to land the Table 1 quantities in the paper's ranges:
 

@@ -4,7 +4,7 @@ C17 is shipped verbatim (it is six NAND gates, published in full in the
 paper's running example, Figs. 4-5).  C6288 is generated structurally as
 a 16x16 array multiplier, which is what the original circuit is.  The
 remaining ISCAS85 circuits are produced by the seeded synthetic generator
-matched to their published statistics — see DESIGN.md §5 for why this
+matched to their published statistics — see DESIGN.md §6 for why this
 substitution preserves the paper's evaluation.
 """
 

@@ -168,6 +168,14 @@ class CompiledGraph:
     # (OR/XOR identity) and an all-ones row (AND identity).
     zero_row: int
     ones_row: int
+    # --- simulation slots: the schedule flattened into one global order.
+    # Concatenating every group's ``dst`` assigns each logic gate exactly
+    # one *slot*; ascending slot order IS evaluation order, which lets a
+    # consumer re-run an arbitrary gate subset (e.g. one fault's output
+    # cone) by bucketing its slots into contiguous group segments.
+    sim_group_offsets: np.ndarray  # (len(sim_groups) + 1,) int64 slot starts
+    slot_of_node: np.ndarray  # (num_nodes,) int32 slot id, -1 for inputs
+    node_of_slot: np.ndarray  # (num_gates,) int32 node id per slot
 
     # ------------------------------------------------------------- conveniences
     @property
@@ -274,6 +282,17 @@ def compile_circuit(circuit: "Circuit") -> CompiledGraph:
         level_groups, type_code, zero_row, ones_row
     )
 
+    # Flatten the schedule into global slots (see the field comments).
+    sim_group_offsets = np.zeros(len(sim_groups) + 1, dtype=np.int64)
+    np.cumsum([len(g.dst) for g in sim_groups], out=sim_group_offsets[1:])
+    node_of_slot = (
+        np.concatenate([g.dst for g in sim_groups]).astype(np.int32)
+        if sim_groups
+        else np.empty(0, dtype=np.int32)
+    )
+    slot_of_node = np.full(num_nodes, -1, dtype=np.int32)
+    slot_of_node[node_of_slot] = np.arange(len(node_of_slot), dtype=np.int32)
+
     return CompiledGraph(
         num_nodes=num_nodes,
         num_inputs=len(input_node),
@@ -298,6 +317,9 @@ def compile_circuit(circuit: "Circuit") -> CompiledGraph:
         sim_groups=tuple(sim_groups),
         zero_row=zero_row,
         ones_row=ones_row,
+        sim_group_offsets=sim_group_offsets,
+        slot_of_node=slot_of_node,
+        node_of_slot=node_of_slot,
     )
 
 

@@ -1,7 +1,7 @@
 """Seeded synthetic generator for ISCAS85-profile circuits.
 
 The paper evaluates on the ISCAS85 benchmark suite.  The original netlist
-files are not bundled here (see DESIGN.md §5), so for every benchmark we
+files are not bundled here (see DESIGN.md §6), so for every benchmark we
 generate a *stand-in*: a random combinational DAG matched to the
 published statistics of the original — gate count, primary input/output
 count, logic depth, gate-type mix and fanin distribution — from a fixed

@@ -108,7 +108,7 @@ class PartitionEvaluator:
         degradation: delay degradation model; second-order by default.
         time_resolved_degradation: evaluate δ(g,t) at each gate's own
             transition times instead of the module's worst slot
-            (see DESIGN.md §5.4 and the ablation bench).
+            (see DESIGN.md §6.4 and the ablation bench).
     """
 
     def __init__(

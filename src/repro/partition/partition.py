@@ -52,6 +52,7 @@ class Partition:
             self._module_of[gate] = module
             self._modules.setdefault(module, set()).add(gate)
         self._next_id = max(self._modules) + 1
+        self._version = 0
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -82,9 +83,20 @@ class Partition:
         clone._module_of = self._module_of.copy()
         clone._modules = {mid: set(gates) for mid, gates in self._modules.items()}
         clone._next_id = self._next_id
+        clone._version = self._version
         return clone
 
     # ----------------------------------------------------------------- queries
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every move/split/merge.
+
+        Consumers that precompute per-module structures (e.g. the IDDQ
+        module-index grouping) key their caches on ``(id(partition),
+        version)`` so a mutated partition can never serve stale data.
+        """
+        return self._version
+
     @property
     def num_modules(self) -> int:
         return len(self._modules)
@@ -178,6 +190,7 @@ class Partition:
         self._modules[source].discard(gate)
         self._modules[target_module].add(gate)
         self._module_of[gate] = target_module
+        self._version += 1
         if not self._modules[source]:
             del self._modules[source]
         return source
@@ -189,6 +202,7 @@ class Partition:
             raise PartitionError("cannot create an empty module")
         new_id = self._next_id
         self._next_id += 1
+        self._version += 1
         self._modules[new_id] = set()
         for gate in gates:
             source = self._module_of[gate]
@@ -208,6 +222,7 @@ class Partition:
             raise PartitionError(f"unknown module in merge({keep}, {absorb})")
         self._module_of[np.fromiter(gates, dtype=np.int64, count=len(gates))] = keep
         self._modules[keep].update(gates)
+        self._version += 1
         del self._modules[absorb]
 
     # ------------------------------------------------------------- invariants

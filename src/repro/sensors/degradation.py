@@ -6,7 +6,7 @@ currents share the same switch, multiplying the excursion.  The paper
 derives the degradation factor ``δ(g, t)`` from "a second order
 electrical network model having as parameters Rs, Cs, Cg, Rg and n(t)"
 — the exact closed form is lost to the OCR of the source text, so we
-reconstruct it from the same network (DESIGN.md §5.4):
+reconstruct it from the same network (DESIGN.md §6.4):
 
 * first order, the discharge resistance grows from ``Rg`` to
   ``Rg + n(t)·Rs``, giving ``δ = n(t)·Rs / Rg``;

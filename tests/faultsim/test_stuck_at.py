@@ -1,4 +1,4 @@
-"""Tests for the stuck-at logic fault simulator."""
+"""Tests for the stuck-at logic fault simulators."""
 
 import numpy as np
 import pytest
@@ -6,10 +6,12 @@ import pytest
 from repro.errors import FaultSimError
 from repro.faultsim.patterns import exhaustive_patterns, random_patterns
 from repro.faultsim.stuck_at import (
+    ReferenceStuckAtSimulator,
     StuckAtFault,
     StuckAtSimulator,
     enumerate_stuck_at_faults,
 )
+from repro.netlist.benchmarks import c17
 
 
 class TestFaultModel:
@@ -78,3 +80,63 @@ class TestRandomVectorCoverage:
         patterns = random_patterns(len(small_circuit.input_names), 70, seed=2)
         matrix = sim.detection_matrix(faults, patterns)
         assert matrix.shape == (10, 70)
+
+
+class TestCollapsing:
+    def test_root_is_fixpoint(self, small_circuit):
+        sim = StuckAtSimulator(small_circuit)
+        for fault in enumerate_stuck_at_faults(small_circuit):
+            root = sim.collapse_root(fault)
+            assert sim.collapse_root(root) == root
+
+    def test_class_members_share_detection_rows(self, small_circuit):
+        """Every fault's detection row equals its class root's row —
+        the property that makes simulating one representative sound."""
+        sim = StuckAtSimulator(small_circuit)
+        faults = enumerate_stuck_at_faults(small_circuit)
+        roots = [sim.collapse_root(f) for f in faults]
+        patterns = random_patterns(len(small_circuit.input_names), 96, seed=3)
+        fault_matrix = sim.detection_matrix(faults, patterns)
+        root_matrix = ReferenceStuckAtSimulator(small_circuit).detection_matrix(
+            roots, patterns
+        )
+        assert np.array_equal(fault_matrix, root_matrix)
+
+    def test_collapsing_shrinks_the_class_count(self, small_circuit):
+        sim = StuckAtSimulator(small_circuit)
+        faults = enumerate_stuck_at_faults(small_circuit)
+        roots = {sim.collapse_root(f) for f in faults}
+        assert len(roots) < len(faults)
+
+    def test_unknown_net_rejected(self, c17_circuit):
+        with pytest.raises(FaultSimError):
+            StuckAtSimulator(c17_circuit).collapse_root(StuckAtFault("ghost", 1))
+
+
+class TestNoPrimaryOutputs:
+    """Regression: ``detection_matrix`` used to crash with an IndexError
+    (``good_outputs[0]``) when the circuit exposes no primary outputs."""
+
+    @pytest.fixture()
+    def no_output_circuit(self):
+        from repro.netlist.circuit import Circuit
+
+        base = c17()  # lru-cached: rebuild before stripping the outputs
+        circuit = Circuit("c17_no_outputs", list(base), base.output_names)
+        circuit._outputs = ()  # outputs removed post-validation
+        return circuit
+
+    @pytest.mark.parametrize("simulator_class", [StuckAtSimulator, ReferenceStuckAtSimulator])
+    def test_detection_matrix_all_false(self, no_output_circuit, simulator_class):
+        sim = simulator_class(no_output_circuit)
+        faults = [StuckAtFault("10", 0), StuckAtFault("22", 1)]
+        matrix = sim.detection_matrix(faults, exhaustive_patterns(5))
+        assert matrix.shape == (2, 32)
+        assert not matrix.any()
+
+    @pytest.mark.parametrize("simulator_class", [StuckAtSimulator, ReferenceStuckAtSimulator])
+    def test_coverage_zero(self, no_output_circuit, simulator_class):
+        sim = simulator_class(no_output_circuit)
+        faults = [StuckAtFault("10", 0)]
+        assert sim.coverage(faults, exhaustive_patterns(5)) == 0.0
+        assert sim.coverage([], exhaustive_patterns(5)) == 1.0

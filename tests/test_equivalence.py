@@ -25,8 +25,22 @@ from repro.analysis.transition_times import (
     transition_mask_words,
     transition_time_masks,
 )
+from repro.faultsim.atpg import generate_iddq_tests, reference_generate_iddq_tests
+from repro.faultsim.coverage import detection_matrix, evaluate_coverage
+from repro.faultsim.engine import CoverageEngine
+from repro.faultsim.faults import (
+    sample_bridging_faults,
+    sample_gate_oxide_shorts,
+    sample_stuck_on_transistors,
+)
+from repro.faultsim.iddq import IDDQSimulator
 from repro.faultsim.logic_sim import LogicSimulator, ReferenceLogicSimulator
 from repro.faultsim.patterns import random_patterns
+from repro.faultsim.stuck_at import (
+    ReferenceStuckAtSimulator,
+    StuckAtSimulator,
+    enumerate_stuck_at_faults,
+)
 from repro.netlist.arrays import wave_array
 from repro.netlist.benchmarks import c17, load_iscas85
 from repro.netlist.gate import evaluate_gate
@@ -120,6 +134,98 @@ class TestLogicSimEquivalence:
                 dtype=np.uint8,
             )
         return out
+
+
+class TestStuckAtEquivalence:
+    """The fault-parallel engine (collapsing + batched cone-limited
+    simulation + fault dropping) vs the serial reference — fault for
+    fault, bit for bit."""
+
+    def test_detection_matrix_identical(self, circuit):
+        faults = enumerate_stuck_at_faults(circuit)
+        patterns = random_patterns(len(circuit.input_names), 140, seed=21)
+        assert np.array_equal(
+            StuckAtSimulator(circuit).detection_matrix(faults, patterns),
+            ReferenceStuckAtSimulator(circuit).detection_matrix(faults, patterns),
+        )
+
+    def test_coverage_identical_with_fault_dropping(self, circuit):
+        faults = enumerate_stuck_at_faults(circuit)
+        patterns = random_patterns(len(circuit.input_names), 200, seed=22)
+        fast = StuckAtSimulator(circuit)
+        reference = ReferenceStuckAtSimulator(circuit)
+        for chunk in (64, 128, 512):
+            assert fast.coverage(faults, patterns, chunk_patterns=chunk) == (
+                reference.coverage(faults, patterns)
+            )
+
+    def test_fault_subsets_and_duplicates(self, circuit):
+        faults = enumerate_stuck_at_faults(circuit)
+        subset = faults[1::3] + faults[:4]  # shuffled polarity mix + dupes
+        patterns = random_patterns(len(circuit.input_names), 70, seed=23)
+        assert np.array_equal(
+            StuckAtSimulator(circuit).detection_matrix(subset, patterns),
+            ReferenceStuckAtSimulator(circuit).detection_matrix(subset, patterns),
+        )
+
+
+def _sampled_defects(circuit, seed: int):
+    return (
+        sample_bridging_faults(circuit, 15, seed=seed, current_range_ua=(0.5, 25.0))
+        + sample_gate_oxide_shorts(
+            circuit, 10, seed=seed + 1, current_range_ua=(0.5, 25.0)
+        )
+        + sample_stuck_on_transistors(
+            circuit, 10, seed=seed + 2, current_range_ua=(0.5, 25.0)
+        )
+    )
+
+
+class TestCoverageEngineEquivalence:
+    """The cached vectorised engine vs the one-shot reference functions —
+    exact floats, exact booleans, exact reports."""
+
+    def test_detection_matrix_identical(self, circuit):
+        partition = _random_partition(circuit, 4, seed=31)
+        defects = _sampled_defects(circuit, 31)
+        patterns = random_patterns(len(circuit.input_names), 130, seed=31)
+        engine = CoverageEngine(circuit)
+        assert np.array_equal(
+            engine.detection_matrix(partition, defects, patterns),
+            detection_matrix(circuit, partition, defects, patterns),
+        )
+
+    def test_coverage_report_identical(self, circuit):
+        partition = _random_partition(circuit, 3, seed=32)
+        defects = _sampled_defects(circuit, 32)
+        patterns = random_patterns(len(circuit.input_names), 90, seed=32)
+        engine = CoverageEngine(circuit)
+        assert engine.evaluate_coverage(partition, defects, patterns) == (
+            evaluate_coverage(circuit, partition, defects, patterns)
+        )
+
+    def test_leakage_matches_per_gate_loop(self, circuit):
+        sim = IDDQSimulator(circuit)
+        values = sim.simulate_values(
+            random_patterns(len(circuit.input_names), 110, seed=33)
+        )
+        assert np.array_equal(
+            sim.gate_leakage_na(values), sim.reference_gate_leakage_na(values)
+        )
+
+    def test_atpg_identical_through_engine(self, circuit):
+        partition = _random_partition(circuit, 3, seed=34)
+        defects = _sampled_defects(circuit, 34)
+        kwargs = dict(seed=34, random_vectors=32, restarts=2, flip_budget=6)
+        fast = generate_iddq_tests(circuit, partition, defects, **kwargs)
+        reference = reference_generate_iddq_tests(
+            circuit, partition, defects, **kwargs
+        )
+        assert np.array_equal(fast.patterns, reference.patterns)
+        assert fast.detected_ids == reference.detected_ids
+        assert fast.undetected_ids == reference.undetected_ids
+        assert fast.random_detected == reference.random_detected
+        assert fast.targeted_detected == reference.targeted_detected
 
 
 class TestSeparationEquivalence:
