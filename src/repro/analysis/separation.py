@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import SimBackend, get_backend
 from repro.netlist.circuit import Circuit
 
 __all__ = ["SeparationMatrix", "module_separation", "reference_separation_matrix"]
@@ -37,14 +38,26 @@ _WORD = 64
 
 
 class SeparationMatrix:
-    """Capped all-pairs gate distances for one circuit."""
+    """Capped all-pairs gate distances for one circuit.
 
-    def __init__(self, circuit: Circuit, cap: int):
+    The BFS step's segmented bitset OR runs through the selected
+    simulation backend (:meth:`SimBackend.gather_or_segments`), so an
+    accelerator backend takes this kernel over together with the
+    simulation schedule.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        cap: int,
+        backend: str | SimBackend | None = None,
+    ):
         if cap < 1:
             raise ValueError(f"separation cap must be >= 1, got {cap}")
         if cap > 255:
             raise ValueError("separation cap above 255 not supported (uint8 storage)")
         self.cap = cap
+        kernel = get_backend(backend)
         cg = circuit.compiled
         n = cg.num_gates
         num_nodes = cg.num_nodes
@@ -71,9 +84,10 @@ class SeparationMatrix:
 
         frontier = np.zeros_like(reached)
         for dist in range(1, cap):
-            gathered = reached[cg.adj_indices]  # (edges, words)
             frontier[:] = 0
-            frontier[nonzero] = np.bitwise_or.reduceat(gathered, offsets, axis=0)
+            frontier[nonzero] = kernel.gather_or_segments(
+                reached, cg.adj_indices, offsets
+            )
             newly = frontier & ~reached
             if not newly.any():
                 break

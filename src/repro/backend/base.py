@@ -1,0 +1,158 @@
+"""The :class:`SimBackend` interface and backend registry.
+
+A *simulation backend* owns the packed-word kernels that advance a
+compiled circuit's state: the full-schedule evaluation behind
+:meth:`~repro.faultsim.logic_sim.LogicSimulator.simulate`, the optional
+event-driven cone replay behind
+:meth:`~repro.faultsim.logic_sim.LogicSimulator.simulate_delta`, and the
+segmented bitset OR that drives the separation-matrix BFS.  Everything
+above this layer — fault models, coverage, ATPG, partition evaluation —
+talks to a backend through this interface, so swapping the kernel
+implementation (today: ``numpy`` / ``fused`` / ``incremental``; later: a
+GPU or native bitwise backend) never touches a consumer.
+
+Selection: consumers accept a ``backend`` argument (a name or an
+instance) and resolve it with :func:`get_backend`.  ``None`` / ``auto``
+resolves to the ``REPRO_SIM_BACKEND`` environment variable when set,
+else to :data:`DEFAULT_BACKEND`; the flow-level knob is
+:class:`repro.config.SimulationConfig`, whose ``backend`` field is
+passed through unchanged.
+
+Contract: every backend must produce **bit-identical** packed words to
+:class:`~repro.faultsim.logic_sim.ReferenceLogicSimulator` — the
+backend-parametrized equivalence suite enforces this for every name in
+:func:`available_backends`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import FaultSimError
+from repro.netlist.compiled import CompiledGraph
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "SimBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+#: What ``auto`` resolves to when ``REPRO_SIM_BACKEND`` is unset: the
+#: fused full-sim kernel plus the event-driven cone replay.
+DEFAULT_BACKEND = "incremental"
+
+_ENV_KNOB = "REPRO_SIM_BACKEND"
+
+
+class SimBackend:
+    """Kernel provider for compiled-graph simulation.
+
+    State matrices are ``(num_sim_rows, words)`` ``uint64`` arrays laid
+    out exactly as :class:`~repro.netlist.compiled.CompiledGraph`
+    prescribes: node rows in ``all_names`` order followed by the
+    all-zeros and all-ones identity rows.  Input rows (and the identity
+    rows) are filled by the caller; ``run_schedule`` computes every gate
+    row.
+    """
+
+    #: Registry name; set by subclasses.
+    name: str = "?"
+
+    #: Whether :meth:`run_cone` is implemented (event-driven replay).
+    supports_incremental: bool = False
+
+    def run_schedule(
+        self, cg: CompiledGraph, state: np.ndarray, pinned_rows: np.ndarray
+    ) -> None:
+        """Evaluate every gate row of ``state`` in schedule order.
+
+        ``pinned_rows`` lists node rows the caller pre-forced to a
+        constant (stuck-at injection); their values must survive the
+        pass — the backend either skips them as destinations or
+        re-asserts them after every batch.
+        """
+        raise NotImplementedError
+
+    def run_cone(
+        self,
+        cg: CompiledGraph,
+        state: np.ndarray,
+        changed_nodes: np.ndarray,
+        value_cache: dict[int, int] | None = None,
+    ) -> np.ndarray:
+        """Re-evaluate only the fanout cone of ``changed_nodes``.
+
+        ``state`` holds a previously computed full evaluation whose
+        ``changed_nodes`` rows the caller has overwritten; on return all
+        gate rows are bit-identical to a full re-evaluation.  Returns
+        the int32 gate rows whose packed words changed, so callers can
+        patch derived per-node structures.  ``value_cache`` optionally
+        carries rows already materialised in the backend's working
+        representation from an earlier call over the same state; every
+        entry must equal the corresponding ``state`` row, and the dict
+        is updated in place to match the new state.  Only backends with
+        :attr:`supports_incremental` implement this.
+        """
+        raise FaultSimError(
+            f"backend {self.name!r} does not support incremental cone replay"
+        )
+
+    def gather_or_segments(
+        self, source: np.ndarray, indices: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Segmented bitset OR: gather ``source`` rows by ``indices`` and
+        OR-reduce each ``offsets`` segment.
+
+        The one bitset kernel of the separation-matrix BFS that is not a
+        schedule evaluation; exposed here so an accelerator backend can
+        take it over together with the simulation kernels.
+        """
+        return np.bitwise_or.reduceat(source[indices], offsets, axis=0)
+
+
+_REGISTRY: dict[str, SimBackend] = {}
+
+
+def register_backend(backend: SimBackend) -> SimBackend:
+    """Register ``backend`` (an instance) under ``backend.name``.
+
+    Backends are stateless apart from plans cached on the compiled
+    graph, so one shared instance per name is enough.  Re-registering a
+    name replaces the previous instance (useful for tests injecting an
+    instrumented backend).
+    """
+    if not backend.name or backend.name == "?":
+        raise FaultSimError("backend must define a name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(backend: str | SimBackend | None = None) -> SimBackend:
+    """Resolve a backend argument to an instance.
+
+    ``None`` and ``"auto"`` defer to the ``REPRO_SIM_BACKEND``
+    environment variable, then to :data:`DEFAULT_BACKEND`.  Instances
+    pass through unchanged, so callers can thread one configured
+    backend through a whole stack.
+    """
+    if isinstance(backend, SimBackend):
+        return backend
+    name = backend
+    if name is None or name == "auto":
+        name = os.environ.get(_ENV_KNOB) or DEFAULT_BACKEND
+    resolved = _REGISTRY.get(name)
+    if resolved is None:
+        raise FaultSimError(
+            f"unknown simulation backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return resolved

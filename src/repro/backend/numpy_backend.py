@@ -1,0 +1,45 @@
+"""The ``numpy`` backend: the per-(level, op) sim-group schedule.
+
+This is the kernel that lived inline in
+:meth:`~repro.faultsim.logic_sim.LogicSimulator.simulate` before the
+backend subsystem, extracted verbatim: one vectorised bitwise reduction
+per :class:`~repro.netlist.compiled.SimGroup` over a rectangular,
+identity-padded fanin matrix, pinned rows filtered out of each batch's
+destinations.  It is the reference point the fused backend is
+benchmarked against and the simplest template for a new backend port.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import SimBackend
+from repro.netlist.compiled import OP_AND, OP_OR, CompiledGraph
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(SimBackend):
+    """Level-batched schedule evaluation (see module docstring)."""
+
+    name = "numpy"
+
+    def run_schedule(
+        self, cg: CompiledGraph, state: np.ndarray, pinned_rows: np.ndarray
+    ) -> None:
+        for group in cg.sim_groups:
+            dst, src, invert = group.dst, group.src, group.invert
+            if pinned_rows.size:
+                keep = ~np.isin(dst, pinned_rows)
+                if not keep.all():
+                    dst, src, invert = dst[keep], src[keep], invert[keep]
+                    if dst.size == 0:
+                        continue
+            gathered = state[src]  # (g, width, words)
+            if group.op == OP_AND:
+                acc = np.bitwise_and.reduce(gathered, axis=1)
+            elif group.op == OP_OR:
+                acc = np.bitwise_or.reduce(gathered, axis=1)
+            else:
+                acc = np.bitwise_xor.reduce(gathered, axis=1)
+            state[dst] = acc ^ invert

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.errors import OptimizationError
 
-__all__ = ["CostWeights", "EvolutionParams", "SynthesisConfig"]
+__all__ = ["CostWeights", "EvolutionParams", "SimulationConfig", "SynthesisConfig"]
 
 
 @dataclass(frozen=True)
@@ -102,6 +102,25 @@ class EvolutionParams:
 
 
 @dataclass(frozen=True)
+class SimulationConfig:
+    """Simulation-backend selection (see :mod:`repro.backend`).
+
+    ``backend`` is a registered backend name (``numpy`` / ``fused`` /
+    ``incremental``) or ``"auto"``, which defers to the
+    ``REPRO_SIM_BACKEND`` environment variable and then the library
+    default.  The value is resolved lazily by
+    :func:`repro.backend.get_backend` at each consumer, so this module
+    stays free of kernel imports.
+    """
+
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if not self.backend:
+            raise OptimizationError("simulation backend must be a non-empty name")
+
+
+@dataclass(frozen=True)
 class SynthesisConfig:
     """End-to-end flow configuration.
 
@@ -114,5 +133,6 @@ class SynthesisConfig:
 
     weights: CostWeights = field(default_factory=CostWeights)
     evolution: EvolutionParams = field(default_factory=EvolutionParams)
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
     time_resolved_degradation: bool = False
     seed: int = 1995

@@ -18,7 +18,11 @@ The search runs on a persistent
 :class:`~repro.faultsim.engine.CoverageEngine`: one engine per
 generation call, so each hill-climb step costs one simulation of the
 flip-neighbourhood batch against the cached leak tables and module
-grouping instead of a full simulator rebuild.
+grouping instead of a full simulator rebuild.  With an incremental
+simulation backend (the default — see :mod:`repro.backend`) the step
+shrinks further: consecutive :func:`_search_activating_vector` batches
+differ in exactly one input column, so the engine re-simulates only
+that input's fanout cone instead of the whole circuit.
 :func:`reference_generate_iddq_tests` drives the identical search
 through the one-shot reference ``detection_matrix`` — the equivalence
 suite asserts both return the same test set, bit for bit.
@@ -37,6 +41,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.backend import SimBackend
 from repro.errors import FaultSimError
 from repro.faultsim.coverage import detection_matrix
 from repro.faultsim.engine import CoverageEngine
@@ -100,6 +105,7 @@ def generate_iddq_tests(
     flip_budget: int = 24,
     compact: bool = True,
     engine: CoverageEngine | None = None,
+    backend: str | SimBackend | None = None,
 ) -> IDDQTestSet:
     """Generate and compact an IDDQ test set for ``defects``.
 
@@ -111,14 +117,19 @@ def generate_iddq_tests(
         compact: greedily minimise the final vector set.
         engine: reuse an existing :class:`CoverageEngine` (one is built
             when omitted; mutually exclusive with ``library`` /
-            ``technology``, which a passed engine already carries).
+            ``technology`` / ``backend``, which a passed engine already
+            carries).
+        backend: simulation-backend selection for the built engine (a
+            registered name or ``None``/``"auto"`` for the default).
     """
-    if engine is not None and (library is not None or technology is not None):
+    if engine is not None and (
+        library is not None or technology is not None or backend is not None
+    ):
         raise FaultSimError(
-            "pass either an engine or a library/technology, not both — "
-            "the engine already carries its own characterisation"
+            "pass either an engine or a library/technology/backend, not "
+            "both — the engine already carries its own characterisation"
         )
-    engine = engine or CoverageEngine(circuit, library, technology)
+    engine = engine or CoverageEngine(circuit, library, technology, backend=backend)
     return _generate(
         lambda ds, ps: engine.detection_matrix(partition, ds, ps),
         circuit,

@@ -38,6 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import SimBackend, get_backend
 from repro.faultsim.coverage import CoverageReport, effective_thresholds_ua
 from repro.faultsim.faults import BridgingFault, Defect, GateOxideShort, StuckOnTransistor
 from repro.faultsim.iddq import IDDQSimulator
@@ -64,15 +65,23 @@ class CoverageEngine:
     #: Most-recently-used slots for the observation-structure cache.
     _OBS_CACHE_SLOTS = 8
 
+    #: Fall back to a full re-simulation when more input columns than
+    #: this changed against the cached batch — a mostly-new batch (e.g.
+    #: a hill-climb restart) touches most of the circuit anyway, so the
+    #: event-driven bookkeeping would only add overhead.
+    _INCREMENTAL_COL_LIMIT = 4
+
     def __init__(
         self,
         circuit: Circuit,
         library: CellLibrary | None = None,
         technology: Technology | None = None,
+        backend: str | SimBackend | None = None,
     ):
         self.circuit = circuit
         self.technology = technology or generic_technology()
-        self.sim = IDDQSimulator(circuit, library)
+        self.backend = get_backend(backend)
+        self.sim = IDDQSimulator(circuit, library, backend=self.backend)
         # (patterns copy, values, unpacked bits, lazy full leakage matrix)
         self._pattern_cache: (
             tuple[np.ndarray, NodeValues, np.ndarray, np.ndarray | None] | None
@@ -80,6 +89,20 @@ class CoverageEngine:
         self._obs_cache: dict[
             tuple, tuple[Partition, tuple[Defect, ...], np.ndarray, np.ndarray]
         ] = {}
+        # Restricted-path background cache: (partition id, version,
+        # module) -> [partition, dependency rows, per-gate leak matrix,
+        # IDDQ series, dirty row batches].  Valid for the currently
+        # cached pattern batch; a full re-simulation clears it, an
+        # incremental patch marks only the modules whose gates read a
+        # changed row dirty, and a dirty module refreshes just the
+        # affected gates' leak rows before re-summing (leakage is a
+        # per-gate function of fanin values, so the refreshed series is
+        # bit-identical to a fresh computation).
+        self._bg_cache: dict[tuple, list] = {}
+        # Module dependency rows survive background refreshes (they
+        # depend on the partition state only, not on the pattern batch).
+        # Entries hold the partition so cached ids cannot be recycled.
+        self._dep_cache: dict[tuple, tuple[Partition, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ public
     def detection_matrix(
@@ -132,18 +155,61 @@ class CoverageEngine:
         The cache stores a private copy of the last pattern batch and
         hits on content equality, so callers mutating a batch in place
         (or passing an equal batch in a new array) always get results
-        for the values they passed.
+        for the values they passed.  A near-miss — same batch shape,
+        few input columns changed — is patched incrementally when the
+        backend supports event-driven replay: only the flipped inputs'
+        fanout cones are re-simulated and re-unpacked (the ATPG
+        hill-climb's step cost).
         """
         cached = self._pattern_cache
         patterns = np.asarray(patterns)
-        if (
-            cached is not None
-            and cached[0].shape == patterns.shape
-            and np.array_equal(cached[0], patterns)
-        ):
-            return cached[1], cached[2]
+        if cached is not None and cached[0].shape == patterns.shape:
+            if np.array_equal(cached[0], patterns):
+                return cached[1], cached[2]
+            if self.backend.supports_incremental:
+                prepared = self._prepare_incremental(cached, patterns)
+                if prepared is not None:
+                    return prepared
         values = self.sim.simulate_values(patterns)
         bits = self.sim.unpack_bits(values)
+        self._pattern_cache = (patterns.copy(), values, bits, None)
+        self._bg_cache.clear()
+        return values, bits
+
+    def _prepare_incremental(
+        self,
+        cached: tuple[np.ndarray, NodeValues, np.ndarray, np.ndarray | None],
+        patterns: np.ndarray,
+    ) -> tuple[NodeValues, np.ndarray] | None:
+        """Patch the cached batch through the incremental backend.
+
+        Returns ``None`` (caller re-simulates from scratch) when too
+        many input columns changed.  The cached ``bits`` matrix is
+        engine-private, so it is patched in place for the re-evaluated
+        rows only; earlier ``NodeValues`` handed out by
+        :meth:`prepared_values` stay untouched because
+        :meth:`~repro.faultsim.logic_sim.LogicSimulator.simulate_delta`
+        never mutates its baseline.  The cached lazy leakage matrix is
+        dropped with the cache entry — leakage is state-dependent, so a
+        patched state must never reuse it.
+        """
+        old_patterns, old_values, bits, _ = cached
+        changed_cols = np.flatnonzero((patterns != old_patterns).any(axis=0))
+        if changed_cols.size > self._INCREMENTAL_COL_LIMIT:
+            return None
+        values, changed_rows = self.sim.simulator.simulate_delta(
+            old_values, patterns, return_changed=True, changed_cols=changed_cols
+        )
+        if changed_rows.size:
+            sub = np.ascontiguousarray(values.packed[changed_rows])
+            bits[changed_rows] = np.unpackbits(
+                sub.view(np.uint8), axis=1, bitorder="little"
+            )[:, : values.num_patterns].astype(np.int32)
+            changed_mask = np.zeros(bits.shape[0], dtype=bool)
+            changed_mask[changed_rows] = True
+            for entry in self._bg_cache.values():
+                if changed_mask[entry[1]].any():
+                    entry[4].append(changed_rows)
         self._pattern_cache = (patterns.copy(), values, bits, None)
         return values, bits
 
@@ -184,8 +250,10 @@ class CoverageEngine:
         else:
             # Restricted path: a small defect list touches few modules —
             # compute leakage for those modules' gates only (the usual
-            # case inside the ATPG hill-climb: one defect, 1-2 modules).
-            fault_free = self.sim.module_background_ua(partition, bits, needed)
+            # case inside the ATPG hill-climb: one defect, 1-2 modules),
+            # reusing cached series for modules untouched since the last
+            # batch change.
+            fault_free = self._module_background(partition, bits, needed)
         thresholds = effective_thresholds_ua(fault_free, self.technology)
 
         modules = list(fault_free)
@@ -211,6 +279,71 @@ class CoverageEngine:
         hits = measured >= threshold_arr[pair_modules][:, None]
         matrix = np.logical_or.reduceat(hits, indptr[:-1], axis=0)
         return matrix, thresholds
+
+    def _module_background(
+        self, partition: Partition, bits: np.ndarray, modules
+    ) -> dict[int, np.ndarray]:
+        """Cached :meth:`IDDQSimulator.module_background_ua`.
+
+        Between ATPG hill-climb steps only a handful of node rows
+        change, so most steps reuse every observing module's background
+        series outright; a module marked dirty by
+        :meth:`_prepare_incremental` refreshes only the leak rows of
+        gates whose fanins changed and re-sums — bit-identical to a
+        fresh computation (same per-gate floats, same summation order)
+        at a fraction of the cost.
+        """
+        result: dict[int, np.ndarray] = {}
+        for module in modules:
+            key = (id(partition), partition.version, module)
+            entry = self._bg_cache.get(key)
+            if entry is not None and entry[0] is partition:
+                if entry[4]:
+                    self._refresh_background(entry, partition, module, bits)
+                result[module] = entry[3]
+                continue
+            idx = self.sim.module_indices(partition)[module]
+            leak = self.sim.leakage_rows(bits, idx)
+            series = leak.T.sum(axis=1) * 1e-3  # nA -> uA, as the reference
+            dep_entry = self._dep_cache.get(key)
+            if dep_entry is not None and dep_entry[0] is partition:
+                deps = dep_entry[1]
+            else:
+                deps = self.sim.module_dependency_rows(partition, module)
+                if len(self._dep_cache) >= 256:
+                    self._dep_cache.pop(next(iter(self._dep_cache)))
+                self._dep_cache[key] = (partition, deps)
+            row2pos: dict[int, list[int]] = {}
+            fanin_rows = self.sim.fanin_rows
+            for i, g in enumerate(idx.tolist()):
+                for row in fanin_rows[g]:
+                    row2pos.setdefault(row, []).append(i)
+            if len(self._bg_cache) >= 64:
+                self._bg_cache.pop(next(iter(self._bg_cache)))
+            self._bg_cache[key] = [partition, deps, leak, series, [], row2pos]
+            result[module] = series
+        # Preserve the uncached call's module order (dict order feeds
+        # the stacked background matrix downstream).
+        return {module: result[module] for module in modules}
+
+    def _refresh_background(
+        self, entry: list, partition: Partition, module: int, bits: np.ndarray
+    ) -> None:
+        """Recompute a dirty module's affected leak rows and re-sum."""
+        row2pos = entry[5]
+        positions: set[int] = set()
+        for rows in entry[4]:
+            for row in rows.tolist():
+                hit = row2pos.get(row)
+                if hit is not None:
+                    positions.update(hit)
+        entry[4] = []
+        if positions:
+            idx = self.sim.module_indices(partition)[module]
+            affected = np.fromiter(positions, dtype=np.int64, count=len(positions))
+            affected.sort()
+            entry[2][affected] = self.sim.leakage_rows(bits, idx[affected])
+            entry[3] = entry[2].T.sum(axis=1) * 1e-3
 
     def _observing_csr(
         self, partition: Partition, defects: Sequence[Defect]

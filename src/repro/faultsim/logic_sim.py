@@ -1,26 +1,31 @@
 """Bit-parallel combinational logic simulation.
 
 Patterns are packed 64 per machine word; each node's value across all
-patterns is a small ``uint64`` array.  The simulator runs the compiled
-graph's level-grouped schedule (:attr:`CompiledGraph.sim_groups`): one
-batch of same-level gates evaluates as a single vectorised bitwise
-reduction over a rectangular fanin matrix, so there is no per-gate
-Python dispatch at all.  Even the 3512-gate C7552 stand-in simulates
-thousands of patterns per millisecond this way — fast enough that IDDQ
-coverage experiments run inside the test suite.
+patterns is a small ``uint64`` array.  The schedule evaluation itself is
+owned by a pluggable :class:`~repro.backend.base.SimBackend` (see
+:mod:`repro.backend`): the default fused kernel advances a whole batch
+of gates per vectorised dispatch, so there is no per-gate Python at
+all.  Even the 3512-gate C7552 stand-in simulates thousands of patterns
+per millisecond this way — fast enough that IDDQ coverage experiments
+run inside the test suite.
+
+Backends that support event-driven replay additionally enable
+:meth:`LogicSimulator.simulate_delta`: re-simulating a pattern batch
+that differs from an already-simulated one in a few input columns costs
+only the flipped inputs' fanout cones.
 
 :class:`ReferenceLogicSimulator` keeps the original per-gate schedule as
-the executable specification; the equivalence suite asserts both produce
-bit-identical packed words.
+the executable specification; the equivalence suite asserts every
+backend produces bit-identical packed words.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import SimBackend, get_backend
 from repro.errors import FaultSimError
 from repro.netlist.circuit import Circuit
-from repro.netlist.compiled import OP_AND, OP_OR
 from repro.netlist.gate import GateType
 
 __all__ = ["NodeValues", "LogicSimulator", "ReferenceLogicSimulator"]
@@ -82,11 +87,18 @@ def _pack_input_columns(patterns: np.ndarray, num_words: int) -> np.ndarray:
 
 
 class LogicSimulator:
-    """Compiled bit-parallel simulator for one circuit."""
+    """Compiled bit-parallel simulator for one circuit.
 
-    def __init__(self, circuit: Circuit):
+    ``backend`` selects the kernel implementation — a registered backend
+    name, a :class:`~repro.backend.base.SimBackend` instance, or
+    ``None``/``"auto"`` for the configured default (see
+    :func:`repro.backend.get_backend`).
+    """
+
+    def __init__(self, circuit: Circuit, backend: str | SimBackend | None = None):
         self.circuit = circuit
         self.compiled = circuit.compiled
+        self.backend = get_backend(backend)
         self.row_of = {name: i for i, name in enumerate(circuit.all_names)}
 
     def _check_patterns(self, input_patterns: np.ndarray) -> np.ndarray:
@@ -130,23 +142,84 @@ class LogicSimulator:
                 rows.append(row)
             pinned_rows = np.asarray(rows, dtype=np.int32)
 
-        for group in cg.sim_groups:
-            dst, src, invert = group.dst, group.src, group.invert
-            if pinned_rows.size:
-                keep = ~np.isin(dst, pinned_rows)
-                if not keep.all():
-                    dst, src, invert = dst[keep], src[keep], invert[keep]
-                    if dst.size == 0:
-                        continue
-            gathered = packed[src]  # (g, width, words)
-            if group.op == OP_AND:
-                acc = np.bitwise_and.reduce(gathered, axis=1)
-            elif group.op == OP_OR:
-                acc = np.bitwise_or.reduce(gathered, axis=1)
-            else:
-                acc = np.bitwise_xor.reduce(gathered, axis=1)
-            packed[dst] = acc ^ invert
+        self.backend.run_schedule(cg, packed, pinned_rows)
         return NodeValues(packed[: cg.num_nodes], self.row_of, num_patterns)
+
+    def simulate_delta(
+        self,
+        baseline: NodeValues,
+        input_patterns: np.ndarray,
+        return_changed: bool = False,
+        changed_cols: np.ndarray | None = None,
+    ) -> NodeValues | tuple[NodeValues, np.ndarray]:
+        """Re-simulate ``input_patterns`` starting from ``baseline``.
+
+        ``baseline`` must be a *fault-free* result of :meth:`simulate`
+        for a batch of the same size; only gates the changed input
+        columns' value events actually reach are re-evaluated, and the
+        result is bit-identical to ``simulate(input_patterns)``.
+        ``baseline`` itself is never mutated.  With ``return_changed``
+        the node rows whose packed words differ from the baseline
+        (changed inputs + flipped gates) are returned too, so callers
+        can patch derived per-node structures.  ``changed_cols``
+        optionally names a superset of the input columns that may
+        differ (saving the full input re-pack when the caller already
+        diffed the batches); columns outside it must be unchanged.
+
+        Falls back to a full :meth:`simulate` when the backend has no
+        incremental support or the batch size changed.
+        """
+        patterns = self._check_patterns(input_patterns)
+        num_patterns = patterns.shape[0]
+        cg = self.compiled
+        if (
+            not self.backend.supports_incremental
+            or num_patterns != baseline.num_patterns
+        ):
+            values = self.simulate(patterns)
+            if return_changed:
+                return values, np.arange(cg.num_nodes, dtype=np.int32)
+            return values
+
+        num_words = baseline.packed.shape[1]
+        state = np.empty((cg.num_sim_rows, num_words), dtype=np.uint64)
+        state[: cg.num_nodes] = baseline.packed
+        state[cg.zero_row] = np.uint64(0)
+        state[cg.ones_row] = _ONES
+
+        if changed_cols is None:
+            new_words = _pack_input_columns(patterns, num_words)
+            changed_cols = np.arange(len(cg.input_node), dtype=np.int64)
+        else:
+            changed_cols = np.asarray(changed_cols, dtype=np.int64)
+            new_words = _pack_input_columns(patterns[:, changed_cols], num_words)
+        really = np.flatnonzero(
+            (new_words != state[cg.input_node[changed_cols]]).any(axis=1)
+        )
+        changed_cols = changed_cols[really]
+        changed_inputs = cg.input_node[changed_cols]
+        # Steal the baseline's backend value cache (rows materialised in
+        # the backend's working representation).  Stealing — rather than
+        # copying — is safe because a baseline without a cache merely
+        # re-materialises rows lazily; it lets a walk of consecutive
+        # deltas convert each touched row once.
+        value_cache = baseline.__dict__.pop("_backend_value_cache", {})
+        if changed_cols.size:
+            state[changed_inputs] = new_words[really]
+            for row in changed_inputs.tolist():
+                value_cache.pop(row, None)
+            cone = self.backend.run_cone(
+                cg, state, changed_inputs, value_cache=value_cache
+            )
+        else:
+            cone = np.empty(0, dtype=np.int32)
+        values = NodeValues(state[: cg.num_nodes], self.row_of, num_patterns)
+        values._backend_value_cache = value_cache
+        if return_changed:
+            return values, np.concatenate(
+                (changed_inputs.astype(np.int32), cone)
+            )
+        return values
 
     def simulate_outputs(self, input_patterns: np.ndarray) -> np.ndarray:
         """Convenience: ``(patterns, outputs)`` 0/1 matrix."""

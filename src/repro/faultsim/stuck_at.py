@@ -41,6 +41,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import SimBackend
 from repro.faultsim.logic_sim import LogicSimulator
 from repro.errors import FaultSimError
 from repro.netlist.circuit import Circuit
@@ -115,9 +116,9 @@ class StuckAtSimulator:
     #: Faults simulated per batched compiled-graph pass.
     batch_faults = 64
 
-    def __init__(self, circuit: Circuit):
+    def __init__(self, circuit: Circuit, backend: str | SimBackend | None = None):
         self.circuit = circuit
-        self.simulator = LogicSimulator(circuit)
+        self.simulator = LogicSimulator(circuit, backend)
         self._cg = circuit.compiled
         self.row_of = self.simulator.row_of
         # Output bookkeeping: node row per primary output, in output order.
@@ -128,8 +129,12 @@ class StuckAtSimulator:
         self._is_output = np.zeros(self._cg.num_nodes, dtype=bool)
         if len(self._out_nodes):
             self._is_output[self._out_nodes] = True
-        self._closure: np.ndarray | None = None
         self._out_closure: np.ndarray | None = None
+        # Pooled batched-fault state buffer: one (rows, batch, words)
+        # allocation reused across every batch of a detection-matrix or
+        # coverage build (allocating ~8 MB per 64-fault batch used to
+        # dominate the build).
+        self._state_pool: np.ndarray | None = None
 
     # ------------------------------------------------------------------ public
     def collapse_root(self, fault: StuckAtFault) -> StuckAtFault:
@@ -237,24 +242,19 @@ class StuckAtSimulator:
         slot = self._cg.slot_of_node
         return sorted(classes, key=lambda key: (int(slot[key[0]]), key[0], key[1]))
 
-    def _build_closures(self) -> None:
-        """Per-net output cones as bitsets, from one reverse-topological
-        sweep over the fanout CSR.
+    def _build_out_closure(self) -> None:
+        """Per-net reachable-primary-output bitsets, from one
+        reverse-topological sweep over the fanout CSR.
 
-        ``closure[n]`` ORs the simulation-slot bits of every gate
-        reachable from ``n`` (including ``n`` when it is a gate);
-        ``out_closure[n]`` the reachable primary-output positions
-        (including ``n`` itself when it is an output).
+        ``out_closure[n]`` ORs the reachable primary-output positions
+        (including ``n`` itself when it is an output).  The companion
+        reachable-*slot* bitsets live on the compiled graph
+        (:meth:`CompiledGraph.slot_closure`) where the incremental
+        simulation backend shares them.
         """
         cg = self._cg
-        slot_words = (cg.num_gates + _WORD - 1) // _WORD
         out_words = (len(self._out_nodes) + _WORD - 1) // _WORD
-        closure = np.zeros((cg.num_nodes, slot_words), dtype=np.uint64)
         out_closure = np.zeros((cg.num_nodes, out_words), dtype=np.uint64)
-        slots = np.arange(cg.num_gates, dtype=np.uint64)
-        closure[cg.node_of_slot, (slots // _WORD).astype(np.int64)] = (
-            np.uint64(1) << (slots % _WORD)
-        )
         outs = np.arange(len(self._out_nodes), dtype=np.uint64)
         out_closure[self._out_nodes, (outs // _WORD).astype(np.int64)] |= (
             np.uint64(1) << (outs % _WORD)
@@ -263,9 +263,7 @@ class StuckAtSimulator:
         for node in cg.topo[::-1]:
             row = indices[indptr[node] : indptr[node + 1]]
             if len(row):
-                closure[node] |= np.bitwise_or.reduce(closure[row], axis=0)
                 out_closure[node] |= np.bitwise_or.reduce(out_closure[row], axis=0)
-        self._closure = closure
         self._out_closure = out_closure
 
     def _sim_state(self, patterns: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -291,8 +289,8 @@ class StuckAtSimulator:
         pinned rows are re-asserted (a pinned net may sit inside another
         batch member's cone and must still be re-computed *there*).
         """
-        if self._closure is None:
-            self._build_closures()
+        if self._out_closure is None:
+            self._build_out_closure()
         cg = self._cg
         num_words = good.shape[1]
         size = len(batch)
@@ -300,14 +298,25 @@ class StuckAtSimulator:
         values = np.asarray([key[1] for key in batch], dtype=np.uint64)
         cols = np.arange(size)
 
-        state = np.empty((cg.num_sim_rows, size, num_words), dtype=np.uint64)
+        pool = self._state_pool
+        if (
+            pool is None
+            or pool.shape[1] < size
+            or pool.shape[2] != num_words
+        ):
+            pool = np.empty(
+                (cg.num_sim_rows, max(size, self.batch_faults), num_words),
+                dtype=np.uint64,
+            )
+            self._state_pool = pool
+        state = pool[:, :size, :]
         state[: cg.num_nodes] = good[:, None, :]
         state[cg.zero_row] = np.uint64(0)
         state[cg.ones_row] = _ONES
         pin_words = np.where(values[:, None].astype(bool), _ONES, np.uint64(0))
         state[rows, cols] = pin_words
 
-        union = np.bitwise_or.reduce(self._closure[rows], axis=0)
+        union = np.bitwise_or.reduce(cg.slot_closure()[rows], axis=0)
         slots = np.flatnonzero(np.unpackbits(union.view(np.uint8), bitorder="little"))
         if len(slots):
             offsets = cg.sim_group_offsets

@@ -63,6 +63,7 @@ def synthesize_iddq_testable(
             technology,
             config.weights,
             time_resolved_degradation=config.time_resolved_degradation,
+            backend=config.simulation.backend,
         )
     run_seed = config.seed if seed is None else seed
     if starts is None:

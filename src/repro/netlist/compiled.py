@@ -40,6 +40,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 __all__ = [
     "CompiledGraph",
+    "FusedGroup",
+    "FusedSchedule",
     "LevelGroup",
     "SimGroup",
     "compile_circuit",
@@ -135,6 +137,39 @@ class SimGroup:
 
 
 @dataclass(frozen=True)
+class FusedGroup:
+    """One fused dispatch step: same-op gates, possibly from many levels,
+    evaluated as one unpadded gather + ``op.reduceat`` over flattened
+    fanin segments (every logic gate has >= 1 fanin, so segments are
+    non-empty and ``reduceat`` is safe)."""
+
+    op: int  # OP_AND / OP_OR / OP_XOR
+    dst: np.ndarray  # (g,) int32 destination rows (node ids)
+    fanins: np.ndarray  # (e,) int64 flattened fanin rows, no padding
+    offsets: np.ndarray  # (g,) int64 reduceat segment starts into ``fanins``
+    invert: np.ndarray  # (g, 1) uint64 — 0 or all-ones per gate
+    has_invert: bool  # skip the XOR entirely for non-inverting batches
+
+
+@dataclass(frozen=True)
+class FusedSchedule:
+    """The simulation schedule re-batched across levels (see
+    :meth:`CompiledGraph.fused_schedule`).
+
+    Two differences from ``sim_groups``: batches fuse same-op gates
+    across levels wherever dependences allow (fewer Python-level
+    dispatches), and fanins stay flattened instead of being padded to a
+    rectangle (no identity-row gather traffic).  ``batch_of_node``
+    records each gate's fused batch index — the legality tests assert
+    every gate lands strictly after all of its producers.
+    """
+
+    groups: tuple[FusedGroup, ...]
+    group_offsets: np.ndarray  # (len(groups) + 1,) int64
+    batch_of_node: np.ndarray  # (num_nodes,) int32, -1 for inputs
+
+
+@dataclass(frozen=True)
 class CompiledGraph:
     """Dense-array view of one :class:`Circuit` (see module docstring)."""
 
@@ -182,6 +217,74 @@ class CompiledGraph:
     def num_sim_rows(self) -> int:
         """Row count of a simulation state matrix (nodes + identity rows)."""
         return self.num_nodes + 2
+
+    def fused_schedule(self) -> FusedSchedule:
+        """The simulation schedule fused across levels (cached).
+
+        ``sim_groups`` batches strictly per (level, base op): a deep
+        circuit dispatches ~3 batches per level from Python even when
+        consecutive levels' batches are independent.  The fused plan
+        re-batches greedily: gates are visited in slot (evaluation)
+        order and each is appended to the earliest same-op batch that
+        executes after all of its fanin producers' batches.  **Fusion
+        legality rule:** a gate may join batch ``b`` iff
+        ``b > batch(p)`` for every fanin producer ``p`` — a batch reads
+        state as of its start, so no member may read another member's
+        output.  Topological construction makes the greedy choice safe:
+        consumers are placed after their producers by definition.
+
+        The result evaluates bit-identically to ``sim_groups`` (bitwise
+        reductions are exact and segment order preserves each gate's
+        fanin order) with fewer, larger, unpadded dispatches.
+        """
+        cached = self.__dict__.get("_fused_schedule")
+        if cached is None:
+            cached = _build_fused_schedule(self)
+            object.__setattr__(self, "_fused_schedule", cached)
+        return cached
+
+    def group_of_slot(self) -> np.ndarray:
+        """Sim-group id per simulation slot (cached).
+
+        The inverse of :attr:`sim_group_offsets` as a direct int32
+        lookup — event-driven consumers map a slot to its schedule
+        batch without a ``searchsorted`` per event.
+        """
+        cached = self.__dict__.get("_group_of_slot")
+        if cached is None:
+            cached = np.repeat(
+                np.arange(len(self.sim_groups), dtype=np.int32),
+                np.diff(self.sim_group_offsets),
+            )
+            object.__setattr__(self, "_group_of_slot", cached)
+        return cached
+
+    def slot_closure(self) -> np.ndarray:
+        """Per-node reachable-slot bitsets (cached).
+
+        ``slot_closure()[n]`` ORs the simulation-slot bits of every gate
+        reachable from node ``n`` through the fanout CSR (including
+        ``n`` itself when it is a gate) — the fault cone structure the
+        stuck-at engine introduced, shared here so the incremental
+        event-driven backend can reuse it for flip-neighbourhood
+        propagation.  Built by one reverse-topological sweep.
+        """
+        cached = self.__dict__.get("_slot_closure")
+        if cached is None:
+            slot_words = (self.num_gates + 63) // 64
+            closure = np.zeros((self.num_nodes, slot_words), dtype=np.uint64)
+            slots = np.arange(self.num_gates, dtype=np.uint64)
+            closure[self.node_of_slot, (slots // np.uint64(64)).astype(np.int64)] = (
+                np.uint64(1) << (slots % np.uint64(64))
+            )
+            indptr, indices = self.fanout_indptr, self.fanout_indices
+            for node in self.topo[::-1]:
+                row = indices[indptr[node] : indptr[node + 1]]
+                if len(row):
+                    closure[node] |= np.bitwise_or.reduce(closure[row], axis=0)
+            object.__setattr__(self, "_slot_closure", closure)
+            cached = closure
+        return cached
 
     def gate_fanins(self, gate: int) -> np.ndarray:
         """Fanin node ids of one gate (declaration order)."""
@@ -359,3 +462,67 @@ def _build_sim_groups(
                     invert[i, 0] = _ALL_ONES
             groups.append(SimGroup(op=op, dst=dst, src=src, invert=invert))
     return groups
+
+
+def _build_fused_schedule(cg: CompiledGraph) -> FusedSchedule:
+    """Greedy cross-level batch fusion (see :meth:`CompiledGraph.fused_schedule`)."""
+    from bisect import bisect_left
+
+    batch_ops: list[int] = []
+    batch_members: list[list[int]] = []
+    op_batches: dict[int, list[int]] = {OP_AND: [], OP_OR: [], OP_XOR: []}
+    batch_of = np.full(cg.num_nodes, -1, dtype=np.int32)
+    indptr, indices = cg.fanin_indptr, cg.fanin_indices
+    type_code = cg.type_code
+    for node in cg.node_of_slot:
+        node = int(node)
+        op = _BASE_OP[GATE_TYPE_CODES[type_code[node]]]
+        min_batch = 0
+        for f in indices[indptr[node] : indptr[node + 1]]:
+            producer = batch_of[f]  # -1 for primary inputs
+            if producer >= min_batch:
+                min_batch = producer + 1
+        candidates = op_batches[op]  # ascending batch ids
+        i = bisect_left(candidates, min_batch)
+        if i < len(candidates):
+            b = candidates[i]
+        else:
+            b = len(batch_ops)
+            batch_ops.append(op)
+            batch_members.append([])
+            candidates.append(b)
+        batch_members[b].append(node)
+        batch_of[node] = b
+
+    groups: list[FusedGroup] = []
+    for op, members in zip(batch_ops, batch_members):
+        dst = np.asarray(members, dtype=np.int32)
+        flat: list[np.ndarray] = []
+        offsets = np.empty(len(members), dtype=np.int64)
+        invert = np.zeros((len(members), 1), dtype=np.uint64)
+        total = 0
+        for i, node in enumerate(members):
+            row = indices[indptr[node] : indptr[node + 1]]
+            offsets[i] = total
+            total += len(row)
+            flat.append(row)
+            if GATE_TYPE_CODES[type_code[node]].is_inverting:
+                invert[i, 0] = _ALL_ONES
+        groups.append(
+            FusedGroup(
+                op=op,
+                dst=dst,
+                fanins=np.concatenate(flat).astype(np.int64),
+                offsets=offsets,
+                invert=invert,
+                has_invert=bool(invert.any()),
+            )
+        )
+
+    group_offsets = np.zeros(len(groups) + 1, dtype=np.int64)
+    np.cumsum([len(g.dst) for g in groups], out=group_offsets[1:])
+    return FusedSchedule(
+        groups=tuple(groups),
+        group_offsets=group_offsets,
+        batch_of_node=batch_of,
+    )

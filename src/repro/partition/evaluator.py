@@ -109,6 +109,9 @@ class PartitionEvaluator:
         time_resolved_degradation: evaluate δ(g,t) at each gate's own
             transition times instead of the module's worst slot
             (see DESIGN.md §6.4 and the ablation bench).
+        backend: simulation-backend selection for the bitset kernels
+            (a registered name, a backend instance, or ``None``/"auto"
+            for the configured default — see :mod:`repro.backend`).
     """
 
     def __init__(
@@ -119,6 +122,7 @@ class PartitionEvaluator:
         weights: CostWeights | None = None,
         degradation: DelayDegradationModel | None = None,
         time_resolved_degradation: bool = False,
+        backend=None,
     ):
         self.circuit = circuit
         self.library = library or generic_library()
@@ -129,7 +133,9 @@ class PartitionEvaluator:
 
         self.times = TransitionTimes.compute(circuit)
         self.electricals = GateElectricals.compute(circuit, self.library)
-        self.separation = SeparationMatrix(circuit, self.technology.separation_cap)
+        self.separation = SeparationMatrix(
+            circuit, self.technology.separation_cap, backend=backend
+        )
         self.timing = LevelizedTiming(circuit)
         self.nominal_delay_ns = self.timing.critical_path_delay(self.electricals.delay_ns)
         self.ones = np.ones(len(circuit.gate_names), dtype=np.float64)
