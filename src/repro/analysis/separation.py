@@ -119,6 +119,33 @@ class SeparationMatrix:
         sub = self.matrix[np.ix_(group, group)].astype(np.int64)
         return float(sub.sum() / 2)
 
+    def sums_by_group(
+        self, gates: np.ndarray, group_of_gate: np.ndarray, num_groups: int
+    ) -> np.ndarray:
+        """``Σ distance(g, h)`` for every ``g`` in ``gates`` and every group.
+
+        ``group_of_gate`` assigns each dense gate index a group id in
+        ``[0, num_groups)`` (negative = excluded).  Returns an int64
+        ``(len(gates), num_groups)`` matrix — the batched form of
+        :meth:`sum_to_group`, exact in any order (integer distances).
+        One argsort + one ``add.reduceat`` scores every (gate, group)
+        pair of a whole candidate set at once.
+        """
+        gates = np.asarray(gates, dtype=np.int64)
+        out = np.zeros((len(gates), num_groups), dtype=np.int64)
+        if gates.size == 0:
+            return out
+        order = np.argsort(group_of_gate, kind="stable")
+        groups_sorted = np.asarray(group_of_gate)[order]
+        keep = groups_sorted >= 0
+        order, groups_sorted = order[keep], groups_sorted[keep]
+        if order.size == 0:
+            return out
+        present, first = np.unique(groups_sorted, return_index=True)
+        rows = self.matrix[gates][:, order].astype(np.int64)
+        out[:, present] = np.add.reduceat(rows, first, axis=1)
+        return out
+
 
 def reference_separation_matrix(circuit: Circuit, cap: int) -> np.ndarray:
     """One capped Python BFS per gate — the executable specification the

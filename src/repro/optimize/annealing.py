@@ -70,25 +70,21 @@ def anneal_partition(
             move = _propose_move(state, rng)
             if move is None:
                 continue
-            gate, target, source = move
-            state.move_gate(gate, target)
-            new_cost = state.penalized_cost(params.penalty)
+            gate, target, _source = move
+            new_cost = state.trial_cost([(gate, target)], params.penalty)
             evaluations += 1
             delta = new_cost - cost
             if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                state.commit()
                 cost = new_cost
                 accepted += 1
                 if cost < best_cost:
                     best_cost = cost
                     best_state = state.copy()
             else:
-                # Undo.  The source module may have been deleted by the
-                # move; recreate it through a split in that (rare) case.
-                if source in state.partition.module_ids:
-                    state.move_gate(gate, source)
-                else:
-                    state.split_new_module([gate])
-                cost = state.penalized_cost(params.penalty)
+                # Rejected: the trial journal restores the exact prior
+                # state (no reverse-move drift, no module resurrection).
+                state.rollback()
         history.append(
             GenerationRecord(
                 generation=sweep,

@@ -16,20 +16,23 @@ selection:
 * selection keeps the best μ of {parents younger than the maximum
   lifetime κ} ∪ {descendants}.
 
-Costs are maintained incrementally: children copy their parent's
-:class:`~repro.partition.state.EvaluationState` and only the touched
-modules are re-evaluated (§4.2: "costs are recomputed just for the
-modified modules ... the partitions generated this way can be evaluated
-very efficiently").  The boundary-gate and connected-target queries the
-mutation operator leans on are batched CSR scans over the compiled
-graph (see DESIGN.md), so mutation cost stays proportional to module
-size, not circuit size.
+Costs are maintained incrementally and *transactionally*: a child is
+scored by applying its mutation moves to the parent's live
+:class:`~repro.partition.state.EvaluationState` inside a trial — only
+the touched modules are re-evaluated (§4.2: "costs are recomputed just
+for the modified modules ... the partitions generated this way can be
+evaluated very efficiently") — and rolling back exactly.  No state is
+cloned per candidate; only the μ selection survivors materialise a
+state (cheap dense-array copy plus a replay of the recorded moves).
+The boundary-gate and connected-target queries the mutation operator
+leans on are batched CSR scans over the compiled graph (see DESIGN.md),
+so mutation cost stays proportional to module size, not circuit size.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.config import EvolutionParams
 from repro.errors import OptimizationError
@@ -37,19 +40,40 @@ from repro.optimize.result import GenerationRecord, OptimizationResult
 from repro.optimize.start import estimate_module_count, start_population
 from repro.partition.evaluator import PartitionEvaluator
 from repro.partition.partition import Partition
-from repro.partition.state import EvaluationState
 
 __all__ = ["EvolutionOptimizer", "evolve_partition"]
 
 
 @dataclass
 class _Individual:
-    """One population member: a live evaluation state plus ES bookkeeping."""
+    """One population member: ES bookkeeping plus either a live
+    evaluation state (parents) or a recorded mutation relative to the
+    parent's state (unselected children never materialise one)."""
 
-    state: EvaluationState
     cost: float
     step: float
     age: int = 0
+    state: object | None = None
+    parent_state: object | None = None
+    moves: list[tuple[int, int]] = field(default_factory=list)
+
+    def materialize(self):
+        """The individual's live state, building it on first need by
+        copying the parent and replaying the recorded moves (identical
+        arithmetic to the scoring trial, so identical statistics)."""
+        if self.state is None:
+            state = self.parent_state.copy()
+            i = 0
+            while i < len(self.moves):  # replay maximal same-target runs
+                target = self.moves[i][1]
+                j = i + 1
+                while j < len(self.moves) and self.moves[j][1] == target:
+                    j += 1
+                state.move_gates([gate for gate, _ in self.moves[i:j]], target)
+                i = j
+            self.state = state
+            self.parent_state = None
+        return self.state
 
 
 class EvolutionOptimizer:
@@ -85,7 +109,9 @@ class EvolutionOptimizer:
             state = self.evaluator.new_state(partition)
             cost = state.penalized_cost(params.penalty)
             evaluations += 1
-            parents.append(_Individual(state, cost, step=float(params.max_moved_gates)))
+            parents.append(
+                _Individual(cost, step=float(params.max_moved_gates), state=state)
+            )
 
         best = min(parents, key=lambda ind: ind.cost)
         best_snapshot = best.state.copy()
@@ -111,6 +137,8 @@ class EvolutionOptimizer:
                 pool = children or parents
             pool.sort(key=lambda ind: ind.cost)
             parents = pool[: params.mu]
+            for survivor in parents:
+                survivor.materialize()
 
             generation_best = parents[0]
             if generation_best.cost < best_cost - 1e-12:
@@ -154,9 +182,11 @@ class EvolutionOptimizer:
 
     def _mutated_child(self, parent: _Individual) -> _Individual:
         rng = self.rng
-        state = parent.state.copy()
+        state = parent.state
         partition = state.partition
         step = self._child_step(parent.step)
+        moves: list[tuple[int, int]] = []
+        state.begin_trial()
         if partition.num_modules >= 2:
             module = rng.choice(partition.module_ids)
             boundary = partition.boundary_gates(module)
@@ -169,25 +199,32 @@ class EvolutionOptimizer:
                         continue  # an earlier move dissolved the module
                     targets = partition.neighbor_modules(gate)
                     if targets:
-                        state.move_gate(gate, rng.choice(targets))
+                        target = rng.choice(targets)
+                        state.move_gate(gate, target)
+                        moves.append((gate, target))
         cost = state.penalized_cost(self.params.penalty)
-        return _Individual(state, cost, step=step)
+        state.rollback()
+        return _Individual(cost, step=step, parent_state=state, moves=moves)
 
     def _monte_carlo_child(self, parent: _Individual) -> _Individual:
         rng = self.rng
-        state = parent.state.copy()
+        state = parent.state
         partition = state.partition
         step = self._child_step(parent.step)
+        moves: list[tuple[int, int]] = []
+        state.begin_trial()
         if partition.num_modules >= 2:
             source = rng.choice(partition.module_ids)
             targets = [m for m in partition.module_ids if m != source]
             target = rng.choice(targets)
-            gates = list(partition.gates_of(source))
+            gates = partition.gates_array(source).tolist()  # ascending
             count = rng.randint(1, len(gates))
-            for gate in rng.sample(gates, count):
-                state.move_gate(gate, target)
+            block = rng.sample(gates, count)
+            state.move_gates(block, target)
+            moves.extend((gate, target) for gate in block)
         cost = state.penalized_cost(self.params.penalty)
-        return _Individual(state, cost, step=step)
+        state.rollback()
+        return _Individual(cost, step=step, parent_state=state, moves=moves)
 
 
 def evolve_partition(

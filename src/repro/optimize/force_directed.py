@@ -53,7 +53,8 @@ def force_directed_partition(
     if start is None:
         k = num_modules or estimate_module_count(evaluator)
         start = chain_start_partition(evaluator, k, rng)
-    partition = start.copy()
+    state = evaluator.new_state(start)
+    partition = state.partition
     k = partition.num_modules
     average = n / k
     low = max(1, int(average * (1.0 - balance_slack)))
@@ -91,10 +92,9 @@ def force_directed_partition(
                 best_module = module
                 best_pull = pull
             if best_module != own:
-                partition.move_gate(gate, best_module)
+                state.move_gate(gate, best_module)
                 moved += 1
         moves_total += moved
-        state = evaluator.new_state(partition)
         cost = state.penalized_cost(penalty)
         history.append(
             GenerationRecord(
@@ -110,7 +110,7 @@ def force_directed_partition(
             break
 
     return OptimizationResult(
-        best=evaluator.evaluate(partition),
+        best=evaluator.evaluation_of(state),
         history=history,
         generations_run=len(history),
         evaluations=len(history),

@@ -37,16 +37,23 @@ def greedy_refine(
         best_move = None
         best_cost = cost
         partition = state.partition
+        # Enumerate the whole move neighbourhood, score it in one batched
+        # gain-kernel call, then replicate the sequential first-strict-
+        # improvement scan over the cost vector.
+        candidates: list[tuple[int, int]] = []
         for module in partition.module_ids:
             for gate in partition.boundary_gates(module):
                 for target in partition.neighbor_modules(gate):
-                    trial = state.copy()
-                    trial.move_gate(gate, target)
-                    trial_cost = trial.penalized_cost(penalty)
-                    evaluations += 1
-                    if trial_cost < best_cost - 1e-12:
-                        best_cost = trial_cost
-                        best_move = (gate, target)
+                    candidates.append((gate, target))
+        if candidates:
+            costs = state.trial_moves(
+                [c[0] for c in candidates], [c[1] for c in candidates], penalty
+            )
+            evaluations += len(candidates)
+            for move, trial_cost in zip(candidates, costs):
+                if trial_cost < best_cost - 1e-12:
+                    best_cost = float(trial_cost)
+                    best_move = move
         if best_move is None:
             break
         state.move_gate(*best_move)

@@ -38,10 +38,10 @@ def kl_refine(
     """KL-style refinement of ``start``.
 
     Per pass: sample ``candidate_swaps`` boundary-gate pairs from
-    adjacent module pairs, evaluate each swap's gain exactly, apply the
-    best ones greedily with gate locking, and stop the pass at the
-    best-prefix cost.  Passes repeat until no pass improves or
-    ``max_passes`` is hit.
+    adjacent module pairs, score each swap through the transactional
+    trial protocol (no state cloning), commit the improving ones with
+    gate locking and roll the rest back exactly.  Passes repeat until no
+    pass improves or ``max_passes`` is hit.
     """
     if max_passes < 1 or candidate_swaps < 1:
         raise OptimizationError("max_passes and candidate_swaps must be >= 1")
@@ -59,16 +59,17 @@ def kl_refine(
             if swap is None:
                 break
             gate_a, gate_b, module_a, module_b = swap
-            trial = state.copy()
-            trial.move_gate(gate_a, module_b)
-            trial.move_gate(gate_b, module_a)
-            trial_cost = trial.penalized_cost(penalty)
+            trial_cost = state.trial_cost(
+                [(gate_a, module_b), (gate_b, module_a)], penalty
+            )
             evaluations += 1
             if trial_cost < cost - 1e-12:
-                state = trial
+                state.commit()
                 cost = trial_cost
                 locked.update((gate_a, gate_b))
                 improved = True
+            else:
+                state.rollback()
         history.append(
             GenerationRecord(
                 generation=sweep,
@@ -99,6 +100,8 @@ def _sample_swap(partition: Partition, rng: random.Random, locked: set[int]):
         return None
     for _ in range(16):
         module_a = rng.choice(partition.module_ids)
+        if partition.module_size(module_a) < 2:
+            continue  # swapping out of a 1-gate module would delete it mid-swap
         boundary = [g for g in partition.boundary_gates(module_a) if g not in locked]
         if not boundary:
             continue
@@ -109,8 +112,8 @@ def _sample_swap(partition: Partition, rng: random.Random, locked: set[int]):
         module_b = rng.choice(targets)
         candidates = [
             g
-            for g in partition.boundary_gates(module_b)
-            if g not in locked and module_a in partition.neighbor_modules(g)
+            for g in partition.gates_adjacent_to(module_b, module_a)
+            if g not in locked
         ]
         if not candidates:
             continue

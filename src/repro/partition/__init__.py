@@ -14,9 +14,9 @@ The central objects:
 
 from repro.partition.partition import Partition
 from repro.partition.costs import CostBreakdown
-from repro.partition.constraints import ConstraintReport, check_constraints
+from repro.partition.constraints import ConstraintReport, check_constraints, check_constraints_arrays
 from repro.partition.evaluator import ModuleReport, PartitionEvaluation, PartitionEvaluator
-from repro.partition.state import EvaluationState
+from repro.partition.state import EvaluationState, ReferenceEvaluationState
 from repro.partition.metrics import PartitionMetrics, compute_metrics, cut_edges, module_components
 
 __all__ = [
@@ -24,10 +24,12 @@ __all__ = [
     "CostBreakdown",
     "ConstraintReport",
     "check_constraints",
+    "check_constraints_arrays",
     "ModuleReport",
     "PartitionEvaluation",
     "PartitionEvaluator",
     "EvaluationState",
+    "ReferenceEvaluationState",
     "PartitionMetrics",
     "compute_metrics",
     "cut_edges",

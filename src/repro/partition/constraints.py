@@ -20,9 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.library.technology import Technology
 
-__all__ = ["ConstraintReport", "check_constraints"]
+__all__ = ["ConstraintReport", "check_constraints", "check_constraints_arrays"]
 
 
 @dataclass(frozen=True)
@@ -78,3 +80,41 @@ def check_constraints(
         discriminability=discriminability,
         rail_ok=rail_ok,
     )
+
+
+def check_constraints_arrays(
+    technology: Technology,
+    leakage_na: np.ndarray,
+    max_current_ma: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised ``Γ`` over module-indexed arrays.
+
+    Accepts 1-D ``(K,)`` arrays or 2-D ``(C, K)`` batches (one row per
+    trial candidate); all reductions run over the last axis.  Entries
+    with zero leakage *and* zero current (dead/padding slots) are
+    feasible by construction and contribute nothing.
+
+    Returns ``(feasible, violation, discriminability, rail_ok)`` where
+    ``feasible``/``violation`` reduce over the last axis and the other
+    two keep the input shape.
+    """
+    leak = np.asarray(leakage_na, dtype=np.float64)
+    current = np.asarray(max_current_ma, dtype=np.float64)
+    threshold_na = technology.iddq_threshold_ua * 1e3
+    # Masked divides (not errstate) keep this allocation-light — it runs
+    # once per candidate evaluation in every optimiser's inner loop.
+    discriminability = np.full(leak.shape, np.inf)
+    np.divide(threshold_na, leak, out=discriminability, where=leak > 0)
+    rs_required = np.full(current.shape, np.inf)
+    np.divide(
+        technology.rail_limit_v, current * 1e-3, out=rs_required, where=current > 0
+    )
+    bad_leak = discriminability < technology.discriminability
+    rail_ok = rs_required >= technology.min_rs_ohm
+    violation = np.where(
+        bad_leak, leak / technology.max_module_leakage_na - 1.0, 0.0
+    ).sum(axis=-1) + np.where(
+        ~rail_ok, technology.min_rs_ohm / rs_required - 1.0, 0.0
+    ).sum(axis=-1)
+    feasible = ~(bad_leak.any(axis=-1) | (~rail_ok).any(axis=-1))
+    return feasible, violation, discriminability, rail_ok

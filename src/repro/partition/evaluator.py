@@ -27,7 +27,7 @@ from repro.netlist.circuit import Circuit
 from repro.partition.constraints import ConstraintReport
 from repro.partition.costs import CostBreakdown
 from repro.partition.partition import Partition
-from repro.partition.state import EvaluationState
+from repro.partition.state import EvaluationState, ReferenceEvaluationState
 from repro.sensors.bic import BICSensor
 from repro.sensors.degradation import DelayDegradationModel, SecondOrderDegradation
 from repro.sensors.sensing import settle_time_ns
@@ -112,6 +112,10 @@ class PartitionEvaluator:
         backend: simulation-backend selection for the bitset kernels
             (a registered name, a backend instance, or ``None``/"auto"
             for the configured default — see :mod:`repro.backend`).
+        state_impl: evaluation-state implementation handed out by
+            :meth:`new_state` — ``"dense"`` (the transactional
+            array-backed core, default) or ``"reference"`` (the
+            dict-based executable specification).
     """
 
     def __init__(
@@ -123,7 +127,11 @@ class PartitionEvaluator:
         degradation: DelayDegradationModel | None = None,
         time_resolved_degradation: bool = False,
         backend=None,
+        state_impl: str = "dense",
     ):
+        if state_impl not in ("dense", "reference"):
+            raise ValueError(f"unknown state_impl {state_impl!r}")
+        self.state_impl = state_impl
         self.circuit = circuit
         self.library = library or generic_library()
         self.technology = technology or generic_technology()
@@ -141,8 +149,15 @@ class PartitionEvaluator:
         self.ones = np.ones(len(circuit.gate_names), dtype=np.float64)
 
     # --------------------------------------------------------------- evaluate
-    def new_state(self, partition: Partition) -> EvaluationState:
-        """An incremental evaluation state seeded from ``partition``."""
+    def new_state(self, partition: Partition, impl: str | None = None):
+        """An incremental evaluation state seeded from ``partition``.
+
+        ``impl`` overrides the evaluator's ``state_impl`` for this one
+        state — the equivalence suite runs the same optimiser on both.
+        """
+        impl = impl or self.state_impl
+        if impl == "reference":
+            return ReferenceEvaluationState(self, partition)
         return EvaluationState(self, partition)
 
     def evaluate(self, partition: Partition) -> PartitionEvaluation:
@@ -193,9 +208,7 @@ class PartitionEvaluator:
     def leakage_by_module(self, partition: Partition) -> Mapping[int, float]:
         return {
             module: float(
-                self.electricals.leakage_na[
-                    np.fromiter(partition.gates_of(module), dtype=np.int64)
-                ].sum()
+                self.electricals.leakage_na[partition.gates_array(module)].sum()
             )
             for module in partition.module_ids
         }

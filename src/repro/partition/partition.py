@@ -53,6 +53,14 @@ class Partition:
             self._modules.setdefault(module, set()).add(gate)
         self._next_id = max(self._modules) + 1
         self._version = 0
+        # Version-keyed membership cache: sorted per-module gate index
+        # arrays, filled lazily and dropped wholesale on any mutation.
+        self._members_version = -1
+        self._members: dict[int, np.ndarray] = {}
+        # Version-keyed boundary cache: repeated boundary queries at one
+        # version (optimiser candidate sampling retries) hit this.
+        self._boundary_version = -1
+        self._boundary: dict[tuple[int, int], list[int]] = {}
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -84,6 +92,10 @@ class Partition:
         clone._modules = {mid: set(gates) for mid, gates in self._modules.items()}
         clone._next_id = self._next_id
         clone._version = self._version
+        clone._members_version = -1
+        clone._members = {}
+        clone._boundary_version = -1
+        clone._boundary = {}
         return clone
 
     # ----------------------------------------------------------------- queries
@@ -103,7 +115,14 @@ class Partition:
 
     @property
     def module_ids(self) -> tuple[int, ...]:
-        return tuple(self._modules)
+        """Module ids in ascending order.
+
+        The canonical ordering matters: optimisers sample from this
+        tuple, and both evaluation-state implementations (dense and
+        reference) must observe the same module order for seeded runs to
+        produce identical move sequences.
+        """
+        return tuple(sorted(self._modules))
 
     def module_of(self, gate: int) -> int:
         return int(self._module_of[gate])
@@ -121,6 +140,27 @@ class Partition:
         except KeyError:
             raise PartitionError(f"no module {module}") from None
 
+    def gates_array(self, module: int) -> np.ndarray:
+        """Sorted dense gate indices of ``module`` as an int64 array.
+
+        Served from the version-keyed membership cache: every mutation
+        bumps :attr:`version` and invalidates the whole cache, after
+        which modules re-materialise lazily on first access.  Callers
+        must treat the returned array as immutable.
+        """
+        if self._members_version != self._version:
+            self._members = {}
+            self._members_version = self._version
+        cached = self._members.get(module)
+        if cached is None:
+            gates = self._modules.get(module)
+            if gates is None:
+                raise PartitionError(f"no module {module}")
+            cached = np.fromiter(gates, dtype=np.int64, count=len(gates))
+            cached.sort()
+            self._members[module] = cached
+        return cached
+
     def module_size(self, module: int) -> int:
         try:
             return len(self._modules[module])
@@ -130,33 +170,74 @@ class Partition:
     def boundary_gates(self, module: int) -> list[int]:
         """Gates of ``module`` directly connected to a gate outside it.
 
-        One batched CSR expansion over the module's gates; the returned
-        order matches iteration over the module's gate set.
+        One batched CSR expansion over the module's (cached) gate array;
+        returned in ascending gate order — canonical, so rng-driven
+        sampling over the boundary is identical across evaluation-state
+        implementations.  Cached per version (callers must not mutate
+        the returned list).
         """
-        gates = self._modules.get(module)
-        if gates is None:
+        cached = self._boundary_lookup(module, -1)
+        if cached is not None:
+            return cached
+        gs = self.gates_array(module)
+        if gs.size == 0:
+            result: list[int] = []
+        else:
+            cg = self.circuit.compiled
+            neighbours, counts = csr_gather(
+                cg.gate_adj_indptr, cg.gate_adj_indices, gs
+            )
+            external = self._module_of[neighbours] != module
+            per_gate = np.repeat(np.arange(len(gs)), counts)
+            has_external = np.bincount(per_gate[external], minlength=len(gs)) > 0
+            result = [int(g) for g in gs[has_external]]
+        self._boundary[(module, -1)] = result
+        return result
+
+    def _boundary_lookup(self, module: int, other: int) -> list[int] | None:
+        if self._boundary_version != self._version:
+            self._boundary = {}
+            self._boundary_version = self._version
+            return None
+        if module not in self._modules:
             raise PartitionError(f"no module {module}")
-        if not gates:
-            return []
-        cg = self.circuit.compiled
-        gs = np.fromiter(gates, dtype=np.int64, count=len(gates))
-        neighbours, counts = csr_gather(cg.gate_adj_indptr, cg.gate_adj_indices, gs)
-        external = self._module_of[neighbours] != module
-        per_gate = np.repeat(np.arange(len(gs)), counts)
-        has_external = np.bincount(per_gate[external], minlength=len(gs)) > 0
-        flags = np.zeros(len(self._module_of), dtype=bool)
-        flags[gs[has_external]] = True
-        return [g for g in gates if flags[g]]
+        return self._boundary.get((module, other))
 
     def neighbor_modules(self, gate: int) -> tuple[int, ...]:
-        """Distinct modules (other than the gate's own) adjacent to ``gate``."""
+        """Distinct modules (other than the gate's own) adjacent to
+        ``gate``, ascending.  Adjacency rows are a handful of entries, so
+        a Python set beats ``np.unique`` by an order of magnitude here —
+        this runs once per candidate in every optimiser's inner loop."""
         cg = self.circuit.compiled
         row = cg.gate_adj_indices[
             cg.gate_adj_indptr[gate] : cg.gate_adj_indptr[gate + 1]
         ]
-        modules = np.unique(self._module_of[row])
-        own = self._module_of[gate]
-        return tuple(int(m) for m in modules if m != own)
+        modules = set(self._module_of[row].tolist())
+        modules.discard(int(self._module_of[gate]))
+        return tuple(sorted(modules))
+
+    def gates_adjacent_to(self, module: int, other: int) -> list[int]:
+        """Gates of ``module`` with at least one neighbour in ``other``,
+        ascending — the batched form of filtering :meth:`boundary_gates`
+        through :meth:`neighbor_modules` one gate at a time.  Cached per
+        version alongside the boundary sets."""
+        cached = self._boundary_lookup(module, other)
+        if cached is not None:
+            return cached
+        gs = self.gates_array(module)
+        if gs.size == 0:
+            result: list[int] = []
+        else:
+            cg = self.circuit.compiled
+            neighbours, counts = csr_gather(
+                cg.gate_adj_indptr, cg.gate_adj_indices, gs
+            )
+            hits = self._module_of[neighbours] == other
+            per_gate = np.repeat(np.arange(len(gs)), counts)
+            adjacent = np.bincount(per_gate[hits], minlength=len(gs)) > 0
+            result = [int(g) for g in gs[adjacent]]
+        self._boundary[(module, other)] = result
+        return result
 
     def as_name_groups(self) -> tuple[frozenset[str], ...]:
         """Module contents as frozensets of gate names, for reports/tests.
@@ -178,11 +259,14 @@ class Partition:
         """Move one gate to ``target_module``; returns the source module.
 
         If the source module becomes empty it is deleted (paper §4.2:
-        "If all gates of M are moved, this module is deleted").
+        "If all gates of M are moved, this module is deleted").  Any
+        already-materialised membership arrays of the two touched
+        modules are maintained in place (sorted insert/delete), so the
+        cache survives single moves — the optimiser hot path.
         """
         if target_module not in self._modules:
             raise PartitionError(f"no module {target_module}")
-        source = self._module_of[gate]
+        source = int(self._module_of[gate])
         if source == target_module:
             raise PartitionError(
                 f"gate {gate} is already in module {target_module}"
@@ -190,10 +274,65 @@ class Partition:
         self._modules[source].discard(gate)
         self._modules[target_module].add(gate)
         self._module_of[gate] = target_module
+        if self._members_version == self._version:
+            self._members_version = self._version + 1
+            src_cached = self._members.get(source)
+            if src_cached is not None:
+                self._members[source] = np.delete(
+                    src_cached, np.searchsorted(src_cached, gate)
+                )
+            tgt_cached = self._members.get(target_module)
+            if tgt_cached is not None:
+                self._members[target_module] = np.insert(
+                    tgt_cached, np.searchsorted(tgt_cached, gate), gate
+                )
         self._version += 1
         if not self._modules[source]:
             del self._modules[source]
+            self._members.pop(source, None)
         return source
+
+    def move_gates(self, gates: Iterable[int], target_module: int) -> None:
+        """Move a batch of gates to ``target_module`` — one version bump,
+        one membership-cache invalidation, emptied sources deleted.
+
+        The common case (distinct gates sharing one source module) runs
+        as whole-set operations instead of a per-gate loop.  The whole
+        batch is validated before any mutation, so a rejected call
+        leaves the partition (and its version-keyed caches) untouched.
+        """
+        if target_module not in self._modules:
+            raise PartitionError(f"no module {target_module}")
+        gates = [int(g) for g in gates]
+        if not gates:
+            return
+        block = set(gates)
+        if len(block) != len(gates):
+            raise PartitionError("duplicate gates in move_gates batch")
+        for gate in gates:
+            if int(self._module_of[gate]) == target_module:
+                raise PartitionError(
+                    f"gate {gate} is already in module {target_module}"
+                )
+        target_set = self._modules[target_module]
+        source = int(self._module_of[gates[0]])
+        source_set = self._modules[source]
+        if block <= source_set:  # single-source fast path
+            source_set -= block
+            target_set |= block
+            self._module_of[np.asarray(gates, dtype=np.int64)] = target_module
+            if not source_set:
+                del self._modules[source]
+        else:
+            for gate in gates:
+                source = int(self._module_of[gate])
+                source_set = self._modules[source]
+                source_set.discard(gate)
+                target_set.add(gate)
+                self._module_of[gate] = target_module
+                if not source_set:
+                    del self._modules[source]
+        self._version += 1
 
     def split_new_module(self, gates: Iterable[int]) -> int:
         """Move ``gates`` into a brand-new module; returns its id."""
@@ -220,7 +359,7 @@ class Partition:
         gates = self._modules.get(absorb)
         if gates is None or keep not in self._modules:
             raise PartitionError(f"unknown module in merge({keep}, {absorb})")
-        self._module_of[np.fromiter(gates, dtype=np.int64, count=len(gates))] = keep
+        self._module_of[self.gates_array(absorb)] = keep
         self._modules[keep].update(gates)
         self._version += 1
         del self._modules[absorb]

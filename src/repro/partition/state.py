@@ -1,37 +1,58 @@
-"""Incrementally maintained evaluation state (paper §4.2).
+"""Incrementally maintained, transactional evaluation state (paper §4.2).
 
 The evolution strategy evaluates thousands of candidate partitions, each
 differing from its parent by a handful of gate moves.  The paper makes
 this affordable by recomputing "costs ... just for the modified modules".
-:class:`EvaluationState` implements that: it owns a partition plus, per
-module, the cached quantities every cost term and constraint needs —
+Two implementations of that idea live here, behind one protocol:
 
-* the time-indexed worst-case current and activity profiles,
-* the leakage sum, the rail-capacitance sum, the separation sum,
+* :class:`EvaluationState` — the production path.  Per-module statistics
+  live in contiguous *slot*-indexed arrays — ``(S,)`` leakage / rail-cap
+  / separation / peak-current vectors and ``(S, T)`` current / activity
+  profile matrices — so every cost term and the feasibility predicate
+  ``Γ`` are pure array reductions with no per-module Python loop.  The
+  ``c2``/``c4`` delay term is maintained incrementally: a move dirties
+  two modules, their gates' degraded delays are re-derived, and the
+  critical path is updated only through the changed gates' fanout cones
+  (:class:`~repro.analysis.timing.IncrementalTiming`).
 
-and per gate the degraded delay.  A gate move touches exactly two
-modules; their caches update in O(module size + depth), after which the
-full cost reads off the caches (plus one vectorised longest-path pass
-for the global delay).
+* :class:`ReferenceEvaluationState` — the original dict-of-
+  :class:`ModuleStats` implementation, kept as the executable
+  specification the dense path is tested against.
+
+Both support the **transactional move protocol**: ``begin_trial()``
+opens a journal, moves apply *in place*, and ``rollback()`` restores
+every byte of state exactly (saved prior values, not reverse
+arithmetic) while ``commit()`` keeps the moves.  Optimisers therefore
+never clone a state to score a candidate.  The dense path additionally
+offers :meth:`EvaluationState.trial_moves` — a batched gain kernel that
+scores a whole candidate set ``(gates, targets)`` in one vectorised
+pass (batched separation sums, scatter-added profile deltas, vectorised
+sensor sizing and constraint checking), looping only for the
+per-candidate cone-restricted delay update.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import PartitionError
-from repro.partition.constraints import ConstraintReport, check_constraints
+from repro.partition.constraints import (
+    ConstraintReport,
+    check_constraints,
+    check_constraints_arrays,
+)
+from repro.netlist.compiled import csr_gather
 from repro.partition.costs import CostBreakdown, log_guarded
 from repro.partition.partition import Partition
-from repro.sensors.bic import BICSensor, size_sensor
-from repro.sensors.sensing import settle_time_ns
+from repro.sensors.bic import BICSensor, size_sensor, size_sensors
+from repro.sensors.sensing import settle_time_ns, settle_times_ns
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.partition.evaluator import PartitionEvaluator
 
-__all__ = ["ModuleStats", "EvaluationState"]
+__all__ = ["ModuleStats", "EvaluationState", "ReferenceEvaluationState"]
 
 
 class ModuleStats:
@@ -67,8 +88,70 @@ class ModuleStats:
         return float(self.current_profile.max())
 
 
-class EvaluationState:
-    """A partition plus all incrementally maintained evaluation caches."""
+class _StateProtocol:
+    """Shared pieces of the two evaluation-state implementations."""
+
+    ctx: "PartitionEvaluator"
+    partition: Partition
+
+    def move_gate(self, gate: int, target_module: int) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def penalized_cost(self, penalty: float) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    def begin_trial(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def commit(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def rollback(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def move_gates(self, gates: Iterable[int], target_module: int) -> None:
+        for gate in gates:
+            self.move_gate(gate, target_module)
+
+    def trial_cost(
+        self, moves: Sequence[tuple[int, int]], penalty: float
+    ) -> float:
+        """Open a trial, apply ``moves``, and return the penalised cost.
+
+        The trial stays open: the caller decides between :meth:`commit`
+        (keep the moves) and :meth:`rollback` (exact restore).
+        """
+        self.begin_trial()
+        try:
+            for gate, target in moves:
+                self.move_gate(gate, target)
+            return self.penalized_cost(penalty)
+        except Exception:
+            self.rollback()
+            raise
+
+    def trial_moves(
+        self, gates: Sequence[int], targets: Sequence[int], penalty: float
+    ) -> np.ndarray:
+        """Penalised cost of each single-gate candidate move, evaluated
+        independently from the current state (generic trial/rollback
+        loop; the dense state overrides this with the batched kernel)."""
+        costs = np.empty(len(gates), dtype=np.float64)
+        for i, (gate, target) in enumerate(zip(gates, targets)):
+            costs[i] = self.trial_cost([(int(gate), int(target))], penalty)
+            self.rollback()
+        return costs
+
+    def committed_moves(self) -> list[tuple[int, int]]:
+        """The (gate, target) sequence of every committed move so far —
+        rolled-back trial moves are erased.  Equivalence tests compare
+        these across implementations."""
+        return list(self._move_log)
+
+
+class ReferenceEvaluationState(_StateProtocol):
+    """A partition plus per-module dict caches — the original §4.2
+    implementation, kept as the dense core's executable specification."""
 
     def __init__(self, ctx: "PartitionEvaluator", partition: Partition):
         self.ctx = ctx
@@ -77,6 +160,8 @@ class EvaluationState:
         self.delay_degraded = ctx.electricals.delay_ns.copy()
         self._sensors: dict[int, BICSensor] = {}
         self._dirty: set[int] = set()
+        self._snapshot: "ReferenceEvaluationState | None" = None
+        self._move_log: list[tuple[int, int]] = []
         for module in self.partition.module_ids:
             self.stats[module] = self._build_module_stats(module)
             self._dirty.add(module)
@@ -84,7 +169,7 @@ class EvaluationState:
     # ------------------------------------------------------------ construction
     def _build_module_stats(self, module: int) -> ModuleStats:
         ctx = self.ctx
-        gates = self._gates_array(module)
+        gates = self.partition.gates_array(module)
         current = ctx.times.profile(gates, ctx.electricals.peak_current_ma)
         activity = ctx.times.profile(gates, ctx.ones)
         leak = float(ctx.electricals.leakage_na[gates].sum())
@@ -92,19 +177,48 @@ class EvaluationState:
         sep = ctx.separation.module_sum(gates)
         return ModuleStats(current, activity, leak, sep, rail)
 
-    def _gates_array(self, module: int) -> np.ndarray:
-        gates = self.partition.gates_of(module)
-        return np.fromiter(gates, dtype=np.int64, count=len(gates))
-
-    def copy(self) -> "EvaluationState":
-        clone = object.__new__(EvaluationState)
+    def copy(self) -> "ReferenceEvaluationState":
+        if self._snapshot is not None:
+            raise PartitionError("cannot copy a state with an open trial")
+        clone = object.__new__(ReferenceEvaluationState)
         clone.ctx = self.ctx
         clone.partition = self.partition.copy()
         clone.stats = {module: stats.copy() for module, stats in self.stats.items()}
         clone.delay_degraded = self.delay_degraded.copy()
         clone._sensors = dict(self._sensors)
         clone._dirty = set(self._dirty)
+        clone._snapshot = None
+        clone._move_log = list(self._move_log)
         return clone
+
+    # ------------------------------------------------------------------ trials
+    def begin_trial(self) -> None:
+        """Open a trial: subsequent moves apply in place until
+        :meth:`commit` keeps them or :meth:`rollback` restores the exact
+        prior state.  (Reference implementation: a full snapshot.)"""
+        if self._snapshot is not None:
+            raise PartitionError("trial already open")
+        self._snapshot = self.copy()
+
+    def commit(self) -> None:
+        if self._snapshot is None:
+            raise PartitionError("no open trial")
+        self._snapshot = None
+
+    def rollback(self) -> None:
+        snap = self._snapshot
+        if snap is None:
+            raise PartitionError("no open trial")
+        self._snapshot = None
+        # Same monotonic-version contract as the dense journal rollback:
+        # every version observed during the trial becomes stale.
+        snap.partition._version = self.partition._version + 1
+        self.partition = snap.partition
+        self.stats = snap.stats
+        self.delay_degraded = snap.delay_degraded
+        self._sensors = snap._sensors
+        self._dirty = snap._dirty
+        self._move_log = snap._move_log
 
     # ------------------------------------------------------------------ moves
     def move_gate(self, gate: int, target_module: int) -> int:
@@ -123,8 +237,8 @@ class EvaluationState:
         # Separation deltas need the memberships *around* the move: the
         # source before removal (self-distance is 0 so including the gate
         # is harmless) and the target before insertion.
-        src_members = self._gates_array(source)
-        tgt_members = self._gates_array(target_module)
+        src_members = partition.gates_array(source)
+        tgt_members = partition.gates_array(target_module)
         src_stats.sep_sum -= ctx.separation.sum_to_group(gate, src_members)
         tgt_stats.sep_sum += ctx.separation.sum_to_group(gate, tgt_members)
 
@@ -150,41 +264,42 @@ class EvaluationState:
         else:
             self._dirty.add(source)
         self._dirty.add(target_module)
+        self._move_log.append((gate, target_module))
         return source
-
-    def move_gates(self, gates, target_module: int) -> None:
-        for gate in gates:
-            self.move_gate(gate, target_module)
 
     def split_new_module(self, gates) -> int:
         """Create a new module from ``gates`` (state-maintaining version of
-        :meth:`Partition.split_new_module`).
-
-        Not on the optimiser's hot path, so all caches are simply rebuilt
-        from scratch afterwards.
-        """
+        :meth:`Partition.split_new_module`); rebuilds only the touched
+        modules' caches."""
+        if self._snapshot is not None:
+            raise PartitionError("split_new_module not allowed inside a trial")
         gates = list(gates)
         if not gates:
             raise PartitionError("cannot create an empty module")
+        sources = {self.partition.module_of(gate) for gate in gates}
         new_id = self.partition.split_new_module(gates)
-        self._rebuild_all()
+        self._rebuild_touched(sources | {new_id})
         return new_id
 
     def merge_modules(self, keep: int, absorb: int) -> None:
-        """Merge ``absorb`` into ``keep`` (rebuilds caches; cold path)."""
+        """Merge ``absorb`` into ``keep`` (rebuilds only ``keep``)."""
+        if self._snapshot is not None:
+            raise PartitionError("merge_modules not allowed inside a trial")
         self.partition.merge_modules(keep, absorb)
-        self._rebuild_all()
+        self._rebuild_touched({keep, absorb})
 
-    def _rebuild_all(self) -> None:
+    def _rebuild_touched(self, modules: set[int]) -> None:
+        """Rebuild caches of ``modules`` only; dead ones are dropped and
+        only the rebuilt ones become dirty."""
         alive = set(self.partition.module_ids)
-        for module in list(self.stats):
-            if module not in alive:
-                del self.stats[module]
+        for module in sorted(modules):
+            if module in alive:
+                self.stats[module] = self._build_module_stats(module)
+                self._dirty.add(module)
+            else:
+                self.stats.pop(module, None)
                 self._sensors.pop(module, None)
-        self._dirty.clear()
-        for module in alive:
-            self.stats[module] = self._build_module_stats(module)
-            self._dirty.add(module)
+                self._dirty.discard(module)
 
     # ------------------------------------------------------------ derived data
     def _refresh(self) -> None:
@@ -192,7 +307,7 @@ class EvaluationState:
         ctx = self.ctx
         for module in sorted(self._dirty):
             stats = self.stats[module]
-            gates = self._gates_array(module)
+            gates = self.partition.gates_array(module)
             sensor = size_sensor(
                 ctx.technology, module, stats.max_current_ma, stats.rail_cap_ff
             )
@@ -281,3 +396,843 @@ class EvaluationState:
                 f"stats keys {sorted(self.stats)} != modules "
                 f"{sorted(self.partition.module_ids)}"
             )
+
+
+class EvaluationState(_StateProtocol):
+    """Dense transactional evaluation core (see module docstring).
+
+    Module statistics are stored at *slots* — positions in contiguous
+    arrays.  A module dying frees its slot (zero-filled, so full-array
+    reductions stay exact); a split claims a free slot or grows the
+    arrays.  All mutations route through :meth:`_aset`, which journals
+    prior values while a trial is open, making :meth:`rollback` an
+    exact byte-for-byte restore.
+    """
+
+    _GROW = 8
+
+    def __init__(self, ctx: "PartitionEvaluator", partition: Partition):
+        self.ctx = ctx
+        self.partition = partition.copy()
+        modules = list(self.partition.module_ids)
+        depth_t = ctx.times.depth + 1
+        s = len(modules)
+        self._slot_of: dict[int, int] = {m: i for i, m in enumerate(modules)}
+        self._slot_module = np.full(s, -1, dtype=np.int64)
+        self._slot_module[: len(modules)] = modules
+        self._free_slots: list[int] = []
+        self.leak_na = np.zeros(s, dtype=np.float64)
+        self.rail_cap_ff = np.zeros(s, dtype=np.float64)
+        self.sep_sum = np.zeros(s, dtype=np.float64)
+        self.max_current_ma = np.zeros(s, dtype=np.float64)
+        self.current = np.zeros((s, depth_t), dtype=np.float64)
+        self.activity = np.zeros((s, depth_t), dtype=np.float64)
+        self.sensor_rs = np.zeros(s, dtype=np.float64)
+        self.sensor_area = np.zeros(s, dtype=np.float64)
+        self.sensor_cs = np.zeros(s, dtype=np.float64)
+        self.sensor_tau = np.zeros(s, dtype=np.float64)
+        self.sensor_clamped = np.zeros(s, dtype=bool)
+        self.settle_ns = np.zeros(s, dtype=np.float64)
+        self.delay_degraded = ctx.electricals.delay_ns.copy()
+        self._arrival: np.ndarray | None = None
+        self._dbic = 0.0
+        self._dirty: set[int] = set(modules)
+        self._journal: list | None = None
+        self._trial_meta: tuple | None = None
+        self._move_log: list[tuple[int, int]] = []
+        # State-owned sorted membership arrays: maintained by replacement
+        # (never mutated in place), journaled by reference, so they
+        # survive trials and rollbacks without re-materialisation.
+        self._members: dict[int, np.ndarray] = {}
+        for module in modules:
+            self._fill_slot(self._slot_of[module], module)
+
+    # ------------------------------------------------------------ construction
+    def _fill_slot(self, slot: int, module: int) -> None:
+        """Build one module's statistics into its slot from scratch."""
+        ctx = self.ctx
+        gates = self.partition.gates_array(module)
+        self._members[module] = gates
+        self.current[slot] = ctx.times.profile(gates, ctx.electricals.peak_current_ma)
+        self.activity[slot] = ctx.times.profile(gates, ctx.ones)
+        self.leak_na[slot] = float(ctx.electricals.leakage_na[gates].sum())
+        self.rail_cap_ff[slot] = float(ctx.electricals.rail_cap_ff[gates].sum())
+        self.sep_sum[slot] = ctx.separation.module_sum(gates)
+        self.max_current_ma[slot] = self.current[slot].max()
+
+    def copy(self) -> "EvaluationState":
+        if self._journal is not None:
+            raise PartitionError("cannot copy a state with an open trial")
+        clone = object.__new__(EvaluationState)
+        clone.ctx = self.ctx
+        clone.partition = self.partition.copy()
+        clone._slot_of = dict(self._slot_of)
+        clone._slot_module = self._slot_module.copy()
+        clone._free_slots = list(self._free_slots)
+        for name in (
+            "leak_na",
+            "rail_cap_ff",
+            "sep_sum",
+            "max_current_ma",
+            "current",
+            "activity",
+            "sensor_rs",
+            "sensor_area",
+            "sensor_cs",
+            "sensor_tau",
+            "sensor_clamped",
+            "settle_ns",
+            "delay_degraded",
+        ):
+            setattr(clone, name, getattr(self, name).copy())
+        clone._arrival = None if self._arrival is None else self._arrival.copy()
+        clone._dbic = self._dbic
+        clone._dirty = set(self._dirty)
+        clone._journal = None
+        clone._trial_meta = None
+        clone._move_log = list(self._move_log)
+        # Arrays are replaced, never mutated, so sharing them is safe.
+        clone._members = dict(self._members)
+        return clone
+
+    # ----------------------------------------------------------------- journal
+    def _aset(self, array: np.ndarray, index, value) -> None:
+        """Assign ``array[index] = value``, journaling the prior bytes
+        when a trial is open."""
+        if self._journal is not None:
+            self._journal.append(("arr", array, index, np.array(array[index], copy=True)))
+        array[index] = value
+
+    def _mem_set(self, module: int, members: np.ndarray | None) -> None:
+        """Replace (or, with ``None``, drop) a module's membership array,
+        journaling the prior reference when a trial is open."""
+        if self._journal is not None:
+            self._journal.append(("mem", module, self._members.get(module)))
+        if members is None:
+            self._members.pop(module, None)
+        else:
+            self._members[module] = members
+
+    def begin_trial(self) -> None:
+        """Open a trial: moves and lazy refreshes apply in place and are
+        journaled; :meth:`rollback` restores the exact prior state."""
+        if self._journal is not None:
+            raise PartitionError("trial already open")
+        self._journal = []
+        self._trial_meta = (
+            self.partition._next_id,
+            set(self._dirty),
+            len(self._move_log),
+            self._dbic,
+            self._arrival is not None,
+        )
+
+    def commit(self) -> None:
+        if self._journal is None:
+            raise PartitionError("no open trial")
+        self._journal = None
+        self._trial_meta = None
+
+    def rollback(self) -> None:
+        journal = self._journal
+        if journal is None:
+            raise PartitionError("no open trial")
+        next_id, dirty, log_len, dbic, had_arrival = self._trial_meta
+        self._journal = None
+        self._trial_meta = None
+        partition = self.partition
+        for entry in reversed(journal):
+            kind = entry[0]
+            if kind == "arr":
+                _, array, index, old = entry
+                array[index] = old
+            elif kind == "move":
+                _, gate, source, target, source_died = entry
+                if source_died:
+                    partition._modules[source] = set()
+                partition._modules[target].discard(gate)
+                partition._modules[source].add(gate)
+                partition._module_of[gate] = source
+            elif kind == "bulk_move":
+                _, moved, source, target, source_died = entry
+                block = set(moved.tolist())
+                if source_died:
+                    partition._modules[source] = set()
+                partition._modules[target] -= block
+                partition._modules[source] |= block
+                partition._module_of[moved] = source
+            elif kind == "mem":
+                _, module, members = entry
+                if members is None:
+                    self._members.pop(module, None)
+                else:
+                    self._members[module] = members
+            else:  # "slot_del": a module death freed a slot
+                _, module, slot = entry
+                self._slot_of[module] = slot
+                self._free_slots.remove(slot)
+        # The version counter is NOT restored: versions must never be
+        # reused, or version-keyed caches (the membership cache, the
+        # IDDQ engine's per-partition caches) could serve content from
+        # the rolled-back timeline.  One extra bump makes every version
+        # observed during the trial permanently stale.
+        partition._version += 1
+        partition._next_id = next_id
+        self._dirty = dirty
+        self._dbic = dbic
+        if not had_arrival:
+            # The arrival vector was first materialised during the trial
+            # (against trial-time delays); drop it so the next refresh
+            # rebuilds from the restored delays.
+            self._arrival = None
+        del self._move_log[log_len:]
+
+    # ------------------------------------------------------------------ moves
+    def _slot(self, module: int) -> int:
+        slot = self._slot_of.get(module)
+        if slot is None:
+            raise PartitionError(f"no module {module}")
+        return slot
+
+    def move_gate(self, gate: int, target_module: int) -> int:
+        """Move a gate, updating both touched slots; returns the source
+        module id.  Inside a trial every write is journaled."""
+        ctx = self.ctx
+        partition = self.partition
+        source = partition.module_of(gate)
+        if source == target_module:
+            raise PartitionError(f"gate {gate} already in module {target_module}")
+        tgt_slot = self._slot(target_module)
+        src_slot = self._slot_of[source]
+
+        src_members = self._members[source]
+        tgt_members = self._members[target_module]
+        separation = ctx.separation
+        self._aset(
+            self.sep_sum,
+            src_slot,
+            self.sep_sum[src_slot] - separation.sum_to_group(gate, src_members),
+        )
+        self._aset(
+            self.sep_sum,
+            tgt_slot,
+            self.sep_sum[tgt_slot] + separation.sum_to_group(gate, tgt_members),
+        )
+
+        times = ctx.times.times[gate]
+        peak = ctx.electricals.peak_current_ma[gate]
+        self._aset(self.current, (src_slot, times), self.current[src_slot, times] - peak)
+        self._aset(self.current, (tgt_slot, times), self.current[tgt_slot, times] + peak)
+        self._aset(
+            self.activity, (src_slot, times), self.activity[src_slot, times] - 1.0
+        )
+        self._aset(
+            self.activity, (tgt_slot, times), self.activity[tgt_slot, times] + 1.0
+        )
+        leak = ctx.electricals.leakage_na[gate]
+        rail = ctx.electricals.rail_cap_ff[gate]
+        self._aset(self.leak_na, src_slot, self.leak_na[src_slot] - leak)
+        self._aset(self.leak_na, tgt_slot, self.leak_na[tgt_slot] + leak)
+        self._aset(self.rail_cap_ff, src_slot, self.rail_cap_ff[src_slot] - rail)
+        self._aset(self.rail_cap_ff, tgt_slot, self.rail_cap_ff[tgt_slot] + rail)
+        self._aset(self.max_current_ma, src_slot, self.current[src_slot].max())
+        self._aset(self.max_current_ma, tgt_slot, self.current[tgt_slot].max())
+
+        source_died = partition.module_size(source) == 1
+        if self._journal is not None:
+            self._journal.append(("move", gate, source, target_module, source_died))
+        partition.move_gate(gate, target_module)
+        if source_died:
+            self._release_slot(source, src_slot)
+            self._dirty.discard(source)
+        else:
+            self._mem_set(
+                source, np.delete(src_members, np.searchsorted(src_members, gate))
+            )
+            self._dirty.add(source)
+        self._mem_set(
+            target_module,
+            np.insert(tgt_members, np.searchsorted(tgt_members, gate), gate),
+        )
+        self._dirty.add(target_module)
+        self._move_log.append((gate, target_module))
+        return source
+
+    def move_gates(self, gates: Iterable[int], target_module: int) -> None:
+        """Move a batch of gates, vectorising maximal same-source runs.
+
+        A Monte-Carlo mutation moves hundreds of gates from one module
+        in a single operation; doing that one :meth:`move_gate` at a
+        time re-gathers both memberships and re-maxes both profiles per
+        gate.  The bulk path computes the *sequential* per-gate deltas
+        in closed form (the separation corrections are the strict lower
+        triangle of the moved set's own distance matrix), applies the
+        profile updates as one scatter pass in the same per-gate order,
+        and touches the partition once per gate — the resulting state is
+        bit-identical to the per-gate loop.
+        """
+        gates = [int(g) for g in gates]
+        partition = self.partition
+        i = 0
+        while i < len(gates):
+            source = partition.module_of(gates[i])
+            j = i + 1
+            while j < len(gates) and partition.module_of(gates[j]) == source:
+                j += 1
+            run = gates[i:j]
+            if len(run) == 1:
+                self.move_gate(run[0], target_module)
+            else:
+                self._bulk_move(run, source, target_module)
+            i = j
+
+    def _bulk_move(self, run: list[int], source: int, target_module: int) -> None:
+        ctx = self.ctx
+        partition = self.partition
+        if source == target_module:
+            raise PartitionError(
+                f"gate {run[0]} already in module {target_module}"
+            )
+        tgt_slot = self._slot(target_module)
+        src_slot = self._slot_of[source]
+        moved = np.asarray(run, dtype=np.int64)
+
+        # Sequential-equivalent separation deltas: gate k's source delta
+        # is its sum to the *remaining* source members, i.e. the full sum
+        # minus its distances to the already-moved gates (strict lower
+        # triangle); the target delta gains the same correction.
+        matrix = ctx.separation.matrix
+        src_members = self._members[source]
+        tgt_members = self._members[target_module]
+        rows = matrix[moved]  # one contiguous row gather shared by all three sums
+        to_src = rows[:, src_members].sum(axis=1, dtype=np.int64)
+        to_tgt = rows[:, tgt_members].sum(axis=1, dtype=np.int64)
+        within = np.tril(rows[:, moved].astype(np.int64), -1).sum(axis=1)
+        src_sep = self.sep_sum[src_slot]
+        tgt_sep = self.sep_sum[tgt_slot]
+        for src_delta, tgt_delta in zip(
+            (to_src - within).tolist(), (to_tgt + within).tolist()
+        ):
+            src_sep -= float(src_delta)
+            tgt_sep += float(tgt_delta)
+        self._aset(self.sep_sum, src_slot, src_sep)
+        self._aset(self.sep_sum, tgt_slot, tgt_sep)
+
+        # Profile deltas: one flattened scatter pass in per-gate order —
+        # the same addition sequence as the per-gate loop.
+        times = ctx.times
+        slots_flat, counts = csr_gather(times.times_indptr, times.times_flat, moved)
+        peak_rep = np.repeat(ctx.electricals.peak_current_ma[moved], counts)
+        self._aset(self.current, src_slot, self.current[src_slot].copy())
+        self._aset(self.current, tgt_slot, self.current[tgt_slot].copy())
+        self._aset(self.activity, src_slot, self.activity[src_slot].copy())
+        self._aset(self.activity, tgt_slot, self.activity[tgt_slot].copy())
+        np.subtract.at(self.current[src_slot], slots_flat, peak_rep)
+        np.add.at(self.current[tgt_slot], slots_flat, peak_rep)
+        np.subtract.at(self.activity[src_slot], slots_flat, 1.0)
+        np.add.at(self.activity[tgt_slot], slots_flat, 1.0)
+
+        src_leak = self.leak_na[src_slot]
+        tgt_leak = self.leak_na[tgt_slot]
+        src_rail = self.rail_cap_ff[src_slot]
+        tgt_rail = self.rail_cap_ff[tgt_slot]
+        for leak, rail in zip(
+            ctx.electricals.leakage_na[moved].tolist(),
+            ctx.electricals.rail_cap_ff[moved].tolist(),
+        ):
+            src_leak -= leak
+            tgt_leak += leak
+            src_rail -= rail
+            tgt_rail += rail
+        self._aset(self.leak_na, src_slot, src_leak)
+        self._aset(self.leak_na, tgt_slot, tgt_leak)
+        self._aset(self.rail_cap_ff, src_slot, src_rail)
+        self._aset(self.rail_cap_ff, tgt_slot, tgt_rail)
+        self._aset(self.max_current_ma, src_slot, self.current[src_slot].max())
+        self._aset(self.max_current_ma, tgt_slot, self.current[tgt_slot].max())
+
+        source_dies = partition.module_size(source) == len(run)
+        if self._journal is not None:
+            self._journal.append(
+                ("bulk_move", moved, source, target_module, source_dies)
+            )
+        partition.move_gates(run, target_module)
+        moved_sorted = np.sort(moved)
+        if source_dies:
+            self._release_slot(source, src_slot)
+            self._dirty.discard(source)
+        else:
+            keep = ~np.isin(src_members, moved_sorted, assume_unique=True)
+            self._mem_set(source, src_members[keep])
+            self._dirty.add(source)
+        self._mem_set(
+            target_module,
+            np.insert(
+                tgt_members,
+                np.searchsorted(tgt_members, moved_sorted),
+                moved_sorted,
+            ),
+        )
+        self._dirty.add(target_module)
+        self._move_log.extend((gate, target_module) for gate in run)
+
+    def _release_slot(self, module: int, slot: int) -> None:
+        """Zero a dead module's slot so full-array reductions stay exact."""
+        if self._journal is not None:
+            self._journal.append(("slot_del", module, slot))
+        self._mem_set(module, None)
+        del self._slot_of[module]
+        self._free_slots.append(slot)
+        self._aset(self._slot_module, slot, -1)
+        for array in (
+            self.leak_na,
+            self.rail_cap_ff,
+            self.sep_sum,
+            self.max_current_ma,
+            self.sensor_rs,
+            self.sensor_area,
+            self.sensor_cs,
+            self.sensor_tau,
+            self.settle_ns,
+        ):
+            self._aset(array, slot, 0.0)
+        self._aset(self.sensor_clamped, slot, False)
+        self._aset(self.current, slot, 0.0)
+        self._aset(self.activity, slot, 0.0)
+
+    def _claim_slot(self, module: int) -> int:
+        """Allocate a slot for a new module (outside trials only)."""
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            slot = len(self._slot_module)
+            grow = EvaluationState._GROW
+            self._slot_module = np.concatenate(
+                [self._slot_module, np.full(grow, -1, dtype=np.int64)]
+            )
+            for name in (
+                "leak_na",
+                "rail_cap_ff",
+                "sep_sum",
+                "max_current_ma",
+                "sensor_rs",
+                "sensor_area",
+                "sensor_cs",
+                "sensor_tau",
+                "settle_ns",
+            ):
+                old = getattr(self, name)
+                setattr(self, name, np.concatenate([old, np.zeros(grow)]))
+            self.sensor_clamped = np.concatenate(
+                [self.sensor_clamped, np.zeros(grow, dtype=bool)]
+            )
+            pad = np.zeros((grow, self.current.shape[1]))
+            self.current = np.concatenate([self.current, pad])
+            self.activity = np.concatenate([self.activity, pad.copy()])
+        self._slot_of[module] = slot
+        self._slot_module[slot] = module
+        return slot
+
+    def split_new_module(self, gates) -> int:
+        """Create a new module from ``gates``; rebuilds only the touched
+        modules (cold path, not allowed inside trials)."""
+        if self._journal is not None:
+            raise PartitionError("split_new_module not allowed inside a trial")
+        gates = list(gates)
+        if not gates:
+            raise PartitionError("cannot create an empty module")
+        sources = {self.partition.module_of(gate) for gate in gates}
+        new_id = self.partition.split_new_module(gates)
+        self._claim_slot(new_id)
+        self._rebuild_touched(sources | {new_id})
+        return new_id
+
+    def merge_modules(self, keep: int, absorb: int) -> None:
+        """Merge ``absorb`` into ``keep`` (rebuilds only ``keep``)."""
+        if self._journal is not None:
+            raise PartitionError("merge_modules not allowed inside a trial")
+        self.partition.merge_modules(keep, absorb)
+        self._rebuild_touched({keep, absorb})
+
+    def _rebuild_touched(self, modules: set[int]) -> None:
+        alive = set(self.partition.module_ids)
+        for module in sorted(modules):
+            if module in alive:
+                self._fill_slot(self._slot(module), module)
+                self._dirty.add(module)
+            elif module in self._slot_of:
+                self._release_slot(module, self._slot_of[module])
+                self._dirty.discard(module)
+
+    # ------------------------------------------------------------ derived data
+    def _refresh(self) -> None:
+        """Re-size sensors, re-degrade delays and re-time the critical
+        path for modified modules — vectorised across the dirty set,
+        cone-restricted for the timing update."""
+        ctx = self.ctx
+        if self._dirty:
+            dirty = sorted(self._dirty)
+            slots = np.asarray([self._slot_of[m] for m in dirty], dtype=np.int64)
+            rs, area, cs, tau, clamped = size_sensors(
+                ctx.technology,
+                self.max_current_ma[slots],
+                self.rail_cap_ff[slots],
+            )
+            self._aset(self.sensor_rs, slots, rs)
+            self._aset(self.sensor_area, slots, area)
+            self._aset(self.sensor_cs, slots, cs)
+            self._aset(self.sensor_tau, slots, tau)
+            self._aset(self.sensor_clamped, slots, clamped)
+            self._aset(
+                self.settle_ns,
+                slots,
+                settle_times_ns(self.max_current_ma[slots], tau, ctx.technology),
+            )
+            changed: list[np.ndarray] = []
+            for module, slot, rs_i, cs_i in zip(dirty, slots, rs, cs):
+                gates = self._members[module]
+                if ctx.time_resolved_degradation:
+                    n = ctx.times.max_in_profile(gates, self.activity[slot])
+                else:
+                    n = float(self.activity[slot].max())
+                delta = ctx.degradation.delta(
+                    n,
+                    rs_i,
+                    cs_i,
+                    ctx.electricals.output_cap_ff[gates],
+                    ctx.electricals.pulldown_res_ohm[gates],
+                )
+                fresh = ctx.electricals.delay_ns[gates] * (1.0 + delta)
+                diff = fresh != self.delay_degraded[gates]
+                if diff.any():
+                    idx = gates[diff]
+                    self._aset(self.delay_degraded, idx, fresh[diff])
+                    changed.append(idx)
+            self._dirty.clear()
+        else:
+            changed = []
+        if self._arrival is None:
+            self._arrival = ctx.timing.incremental.full_arrival(self.delay_degraded)
+            self._dbic = float(self._arrival.max()) if self._arrival.size else 0.0
+        elif changed:
+            touched, old = ctx.timing.incremental.update(
+                self._arrival, self.delay_degraded, np.concatenate(changed)
+            )
+            if self._journal is not None and touched.size:
+                self._journal.append(("arr", self._arrival, touched, old))
+            self._dbic = float(self._arrival.max())
+
+    def sensors(self) -> dict[int, BICSensor]:
+        """Sized sensors for every module (refreshes lazily; cold path —
+        builds :class:`BICSensor` objects from the slot arrays)."""
+        self._refresh()
+        out: dict[int, BICSensor] = {}
+        for module in sorted(self._slot_of):
+            slot = self._slot_of[module]
+            rs = float(self.sensor_rs[slot])
+            current = float(self.max_current_ma[slot])
+            out[module] = BICSensor(
+                module_id=module,
+                rs_ohm=rs,
+                area=float(self.sensor_area[slot]),
+                cs_ff=float(self.sensor_cs[slot]),
+                tau_ns=float(self.sensor_tau[slot]),
+                max_current_ma=current,
+                rail_perturbation_v=rs * current * 1e-3,
+                rs_clamped=bool(self.sensor_clamped[slot]),
+            )
+        return out
+
+    @property
+    def stats(self) -> dict[int, ModuleStats]:
+        """Per-module statistics as :class:`ModuleStats` views (cold
+        path; profile rows are live views into the slot matrices)."""
+        out: dict[int, ModuleStats] = {}
+        for module in sorted(self._slot_of):
+            slot = self._slot_of[module]
+            out[module] = ModuleStats(
+                self.current[slot],
+                self.activity[slot],
+                float(self.leak_na[slot]),
+                float(self.sep_sum[slot]),
+                float(self.rail_cap_ff[slot]),
+            )
+        return out
+
+    def cost_breakdown(self) -> CostBreakdown:
+        """All five cost terms — pure reductions over the slot arrays
+        (dead slots hold exact zeros and contribute nothing)."""
+        self._refresh()
+        ctx = self.ctx
+        c1 = log_guarded(float(self.sensor_area.sum()))
+        d_bic = self._dbic
+        d_nom = ctx.nominal_delay_ns
+        c2 = (d_bic - d_nom) / d_nom
+        c3 = log_guarded(float(self.sep_sum.sum()))
+        settle = float(self.settle_ns.max())
+        c4 = (d_bic + settle - d_nom) / d_nom
+        c5 = float(self.partition.num_modules)
+        return CostBreakdown(
+            c1_area=c1,
+            c2_delay=c2,
+            c3_separation=c3,
+            c4_test_time=c4,
+            c5_modules=c5,
+            weights=ctx.weights,
+        )
+
+    def constraint_report(self) -> ConstraintReport:
+        """Full ``Γ`` report (cold path; the hot path uses the array
+        reduction directly in :meth:`penalized_cost`)."""
+        feasible, violation, disc, rail_ok = check_constraints_arrays(
+            self.ctx.technology, self.leak_na, self.max_current_ma
+        )
+        modules = sorted(self._slot_of)
+        slots = [self._slot_of[m] for m in modules]
+        return ConstraintReport(
+            feasible=bool(feasible),
+            violation=float(violation),
+            discriminability={m: float(disc[s]) for m, s in zip(modules, slots)},
+            rail_ok={m: bool(rail_ok[s]) for m, s in zip(modules, slots)},
+        )
+
+    def penalized_cost(self, penalty: float) -> float:
+        """Cost plus penalty for constraint violation — the optimiser's
+        selection criterion, with no per-module Python work."""
+        feasible, violation, _, _ = check_constraints_arrays(
+            self.ctx.technology, self.leak_na, self.max_current_ma
+        )
+        cost = self.cost_breakdown().total
+        if feasible:
+            return cost
+        return cost + penalty * (1.0 + float(violation))
+
+    # ----------------------------------------------------------- gain kernel
+    def trial_moves(
+        self, gates: Sequence[int], targets: Sequence[int], penalty: float
+    ) -> np.ndarray:
+        """Batched gain kernel: the penalised cost of every candidate
+        single-gate move, each evaluated independently from the current
+        state, in one vectorised pass.
+
+        Stage 1 scores every non-delay term for all candidates at once:
+        batched separation sums (:meth:`SeparationMatrix.sums_by_group`),
+        scatter-added profile deltas, vectorised sensor sizing and the
+        array-form constraint check.  Stage 2 loops only for the
+        ``c2``/``c4`` delay term, re-degrading the two touched modules'
+        gates and updating the critical path through their fanout cones
+        (exact scratch-restore afterwards).  The state is left
+        untouched.
+        """
+        gates = np.asarray(gates, dtype=np.int64)
+        count = len(gates)
+        costs = np.empty(count, dtype=np.float64)
+        if count == 0:
+            return costs
+        if self._journal is not None:
+            raise PartitionError("trial_moves not allowed inside an open trial")
+        self._refresh()
+        ctx = self.ctx
+        partition = self.partition
+        electricals = ctx.electricals
+        num_slots = len(self._slot_module)
+        targets = np.asarray(targets, dtype=np.int64)
+
+        slot_map = np.full(partition._next_id, -1, dtype=np.int64)
+        for module, slot in self._slot_of.items():
+            slot_map[module] = slot
+        src_modules = partition._module_of[gates].astype(np.int64)
+        if (src_modules == targets).any():
+            raise PartitionError("candidate move into the gate's own module")
+        src_slot = slot_map[src_modules]
+        tgt_slot = slot_map[targets]
+        if (tgt_slot < 0).any():
+            raise PartitionError("candidate move into a missing module")
+        sizes = np.bincount(
+            partition._module_of, minlength=int(partition._next_id)
+        )[src_modules]
+        dying = sizes == 1
+        rows = np.arange(count)
+
+        # --- stage 1: every non-delay statistic, fully vectorised.
+        leak_g = electricals.leakage_na[gates]
+        rail_g = electricals.rail_cap_ff[gates]
+        peak_g = electricals.peak_current_ma[gates]
+        src_leak = self.leak_na[src_slot] - leak_g
+        tgt_leak = self.leak_na[tgt_slot] + leak_g
+        src_rail = self.rail_cap_ff[src_slot] - rail_g
+        tgt_rail = self.rail_cap_ff[tgt_slot] + rail_g
+
+        gate_slot = slot_map[partition._module_of]
+        unique_gates, inverse = np.unique(gates, return_inverse=True)
+        sums = ctx.separation.sums_by_group(unique_gates, gate_slot, num_slots)
+        src_sep = self.sep_sum[src_slot] - sums[inverse, src_slot]
+        tgt_sep = self.sep_sum[tgt_slot] + sums[inverse, tgt_slot]
+
+        times = ctx.times
+        slots_flat, slot_counts = csr_gather(
+            times.times_indptr, times.times_flat, gates
+        )
+        row_rep = np.repeat(rows, slot_counts)
+        peak_rep = np.repeat(peak_g, slot_counts)
+        src_cur = self.current[src_slot].copy()
+        tgt_cur = self.current[tgt_slot].copy()
+        src_act = self.activity[src_slot].copy()
+        tgt_act = self.activity[tgt_slot].copy()
+        src_cur[row_rep, slots_flat] -= peak_rep
+        tgt_cur[row_rep, slots_flat] += peak_rep
+        src_act[row_rep, slots_flat] -= 1.0
+        tgt_act[row_rep, slots_flat] += 1.0
+        src_max = src_cur.max(axis=1)
+        tgt_max = tgt_cur.max(axis=1)
+
+        src_rs, src_area, src_cs, src_tau, _ = size_sensors(
+            ctx.technology, src_max, src_rail
+        )
+        tgt_rs, tgt_area, tgt_cs, tgt_tau, _ = size_sensors(
+            ctx.technology, tgt_max, tgt_rail
+        )
+        src_settle = settle_times_ns(src_max, src_tau, ctx.technology)
+        tgt_settle = settle_times_ns(tgt_max, tgt_tau, ctx.technology)
+
+        # Candidate-row matrices over all slots: base values with the two
+        # touched columns replaced (dying sources contribute nothing) —
+        # the same full-array reductions as the committed path.
+        def candidate_matrix(base, src_new, tgt_new):
+            matrix = np.broadcast_to(base, (count, num_slots)).copy()
+            matrix[rows, src_slot] = np.where(dying, 0.0, src_new)
+            matrix[rows, tgt_slot] = tgt_new
+            return matrix
+
+        total_area = candidate_matrix(self.sensor_area, src_area, tgt_area).sum(axis=1)
+        total_sep = candidate_matrix(self.sep_sum, src_sep, tgt_sep).sum(axis=1)
+        settle = candidate_matrix(self.settle_ns, src_settle, tgt_settle).max(axis=1)
+        feasible, violation, _, _ = check_constraints_arrays(
+            ctx.technology,
+            candidate_matrix(self.leak_na, src_leak, tgt_leak),
+            candidate_matrix(self.max_current_ma, src_max, tgt_max),
+        )
+
+        # --- stage 2: the delay term, cone-restricted per candidate.
+        d_bic = np.empty(count, dtype=np.float64)
+        arrival = self._arrival
+        delays = self.delay_degraded
+        nominal = electricals.delay_ns
+        incremental = ctx.timing.incremental
+        for i in range(count):
+            gate = int(gates[i])
+            seeds: list[np.ndarray] = []
+            saved: list[tuple[np.ndarray, np.ndarray]] = []
+            sides: list[tuple[np.ndarray, np.ndarray, float, float]] = []
+            if not dying[i]:
+                members = self._members[int(src_modules[i])]
+                sides.append(
+                    (members[members != gate], src_act[i], src_rs[i], src_cs[i])
+                )
+            members = self._members[int(targets[i])]
+            sides.append(
+                (np.append(members, gate), tgt_act[i], tgt_rs[i], tgt_cs[i])
+            )
+            for module_gates, act_row, rs_i, cs_i in sides:
+                if ctx.time_resolved_degradation:
+                    n = times.max_in_profile(module_gates, act_row)
+                else:
+                    n = float(act_row.max())
+                delta = ctx.degradation.delta(
+                    n,
+                    rs_i,
+                    cs_i,
+                    electricals.output_cap_ff[module_gates],
+                    electricals.pulldown_res_ohm[module_gates],
+                )
+                fresh = nominal[module_gates] * (1.0 + delta)
+                diff = fresh != delays[module_gates]
+                if diff.any():
+                    idx = module_gates[diff]
+                    saved.append((idx, delays[idx].copy()))
+                    delays[idx] = fresh[diff]
+                    seeds.append(idx)
+            if seeds:
+                touched, old = incremental.update(
+                    arrival, delays, np.concatenate(seeds)
+                )
+                d_bic[i] = arrival.max()
+                if touched.size:
+                    arrival[touched] = old
+                for idx, old_delays in saved:
+                    delays[idx] = old_delays
+            else:
+                d_bic[i] = self._dbic
+
+        d_nom = ctx.nominal_delay_ns
+        weights = ctx.weights
+        c1 = np.log1p(np.maximum(total_area, 0.0))
+        c2 = (d_bic - d_nom) / d_nom
+        c3 = np.log1p(np.maximum(total_sep, 0.0))
+        c4 = (d_bic + settle - d_nom) / d_nom
+        c5 = (partition.num_modules - dying).astype(np.float64)
+        costs = (
+            weights.area * c1
+            + weights.delay * c2
+            + weights.separation * c3
+            + weights.test_time * c4
+            + weights.modules * c5
+        )
+        return costs + np.where(feasible, 0.0, penalty * (1.0 + violation))
+
+    # ------------------------------------------------------------- validation
+    def consistency_check(self, atol: float = 1e-6) -> None:
+        """Compare every slot against a from-scratch rebuild, and the
+        maintained arrival vector against a full longest-path pass."""
+        self.partition.check_invariants()
+        ctx = self.ctx
+        if set(self._slot_of) != set(self.partition.module_ids):
+            raise PartitionError(
+                f"slots {sorted(self._slot_of)} != modules "
+                f"{sorted(self.partition.module_ids)}"
+            )
+        if set(self._members) != set(self._slot_of):
+            raise PartitionError(
+                f"membership keys {sorted(self._members)} != modules "
+                f"{sorted(self._slot_of)}"
+            )
+        for module in self.partition.module_ids:
+            slot = self._slot_of[module]
+            if self._slot_module[slot] != module:
+                raise PartitionError(f"slot table disagrees for module {module}")
+            gates = self.partition.gates_array(module)
+            if not np.array_equal(self._members[module], gates):
+                raise PartitionError(f"module {module}: membership array drifted")
+            current = ctx.times.profile(gates, ctx.electricals.peak_current_ma)
+            activity = ctx.times.profile(gates, ctx.ones)
+            if not np.allclose(self.current[slot], current, atol=atol):
+                raise PartitionError(f"module {module}: current profile drifted")
+            if not np.allclose(self.activity[slot], activity, atol=atol):
+                raise PartitionError(f"module {module}: activity profile drifted")
+            expected = {
+                "leak_na": float(ctx.electricals.leakage_na[gates].sum()),
+                "rail_cap_ff": float(ctx.electricals.rail_cap_ff[gates].sum()),
+                "sep_sum": ctx.separation.module_sum(gates),
+                "max_current_ma": float(current.max()),
+            }
+            for field, fresh in expected.items():
+                cached = float(getattr(self, field)[slot])
+                if abs(cached - fresh) > atol:
+                    raise PartitionError(
+                        f"module {module}: {field} drifted ({cached} vs {fresh})"
+                    )
+        dead = np.setdiff1d(
+            np.arange(len(self._slot_module)), list(self._slot_of.values())
+        )
+        if dead.size:
+            if (self._slot_module[dead] != -1).any():
+                raise PartitionError("freed slot still maps to a module")
+            for array in (self.leak_na, self.sep_sum, self.sensor_area, self.settle_ns):
+                if array[dead].any():
+                    raise PartitionError("freed slot holds non-zero statistics")
+        if self._arrival is not None:
+            full = ctx.timing.arrival_times(self.delay_degraded)
+            if not np.array_equal(self._arrival, full):
+                raise PartitionError("maintained arrival times drifted")
+            if self._dbic != (float(full.max()) if full.size else 0.0):
+                raise PartitionError("maintained critical path drifted")

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConstraintError
 from repro.library.technology import Technology
 
-__all__ = ["BICSensor", "size_sensor"]
+__all__ = ["BICSensor", "size_sensor", "size_sensors"]
 
 
 @dataclass(frozen=True)
@@ -97,3 +99,29 @@ def size_sensor(
         rail_perturbation_v=rs * max_current_ma * 1e-3,
         rs_clamped=clamped,
     )
+
+
+def size_sensors(
+    technology: Technology,
+    max_current_ma: np.ndarray,
+    rail_cap_ff: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :func:`size_sensor` over module-indexed arrays.
+
+    Returns ``(rs_ohm, area, cs_ff, tau_ns, rs_clamped)``; every element
+    matches the scalar sizing bit for bit (same IEEE operations).
+    """
+    current = np.asarray(max_current_ma, dtype=np.float64)
+    if (current < 0).any():
+        bad = float(current[current < 0][0])
+        raise ConstraintError(f"negative module current {bad} mA")
+    rs = np.full(current.shape, technology.max_rs_ohm)
+    np.divide(
+        technology.rail_limit_v, current * 1e-3, out=rs, where=current > 0.0
+    )
+    clamped = (current > 0.0) & (rs < technology.min_rs_ohm)
+    rs = np.clip(rs, technology.min_rs_ohm, technology.max_rs_ohm)
+    area = technology.sensor_area_a0 + technology.sensor_area_a1 / rs
+    cs = np.maximum(np.asarray(rail_cap_ff, dtype=np.float64), 0.0)
+    tau = rs * cs * 1e-6
+    return rs, area, cs, tau, clamped

@@ -21,10 +21,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.library.technology import Technology
 from repro.sensors.bic import BICSensor
 
-__all__ = ["SenseOutcome", "settle_time_ns", "sense_module"]
+__all__ = ["SenseOutcome", "settle_time_ns", "settle_times_ns", "sense_module"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +47,20 @@ def settle_time_ns(sensor: BICSensor, technology: Technology) -> float:
     """``Δ(τ)``: transient decay plus sense-amplifier decision time (ns)."""
     peak_ua = max(sensor.max_current_ma * 1e3, technology.decay_floor_ua)
     decay = sensor.tau_ns * math.log(peak_ua / technology.decay_floor_ua)
+    return decay + technology.sense_time_ns
+
+
+def settle_times_ns(
+    max_current_ma: np.ndarray, tau_ns: np.ndarray, technology: Technology
+) -> np.ndarray:
+    """Vectorised :func:`settle_time_ns` over module-indexed arrays."""
+    peak_ua = np.maximum(
+        np.asarray(max_current_ma, dtype=np.float64) * 1e3,
+        technology.decay_floor_ua,
+    )
+    decay = np.asarray(tau_ns, dtype=np.float64) * np.log(
+        peak_ua / technology.decay_floor_ua
+    )
     return decay + technology.sense_time_ns
 
 

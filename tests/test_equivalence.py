@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.paths import extract_critical_path
+from repro.config import EvolutionParams
 from repro.analysis.separation import SeparationMatrix, reference_separation_matrix
 from repro.analysis.timing import LevelizedTiming
 from repro.analysis.transition_times import (
@@ -340,11 +341,11 @@ class TestPartitionEquivalence:
         partition = _random_partition(circuit, 4, seed=7)
         neighbours = circuit.gate_neighbors
         for module in partition.module_ids:
-            expected = [
+            expected = sorted(
                 g
                 for g in partition._modules[module]
                 if any(partition.module_of(nbr) != module for nbr in neighbours[g])
-            ]
+            )
             assert partition.boundary_gates(module) == expected
         for gate in range(len(circuit.gate_names)):
             own = partition.module_of(gate)
@@ -428,3 +429,198 @@ class TestPartitionEquivalence:
                 break
             state.move_gate(gate, rng.choice(targets))
         state.consistency_check()
+
+    def test_dense_state_tracks_reference_state(self, circuit):
+        """Identical move scripts through both state implementations give
+        matching costs, sensors and constraint reports at every step."""
+        evaluator = PartitionEvaluator(circuit)
+        partition = _random_partition(circuit, 3, seed=12)
+        dense = evaluator.new_state(partition)
+        reference = evaluator.new_state(partition, impl="reference")
+        rng = random.Random(12)
+        n = len(circuit.gate_names)
+        for _ in range(20):
+            gate = rng.randrange(n)
+            targets = [
+                m
+                for m in dense.partition.module_ids
+                if m != dense.partition.module_of(gate)
+            ]
+            if not targets:
+                break
+            target = rng.choice(targets)
+            dense.move_gate(gate, target)
+            reference.move_gate(gate, target)
+            assert dense.penalized_cost(1e4) == pytest.approx(
+                reference.penalized_cost(1e4), rel=1e-12
+            )
+        assert dense.partition.canonical() == reference.partition.canonical()
+        dense_report = dense.constraint_report()
+        ref_report = reference.constraint_report()
+        assert dense_report.feasible == ref_report.feasible
+        assert dense_report.violation == pytest.approx(ref_report.violation)
+        dense_sensors = dense.sensors()
+        for module, sensor in reference.sensors().items():
+            assert dense_sensors[module].rs_ohm == pytest.approx(sensor.rs_ohm)
+            assert dense_sensors[module].area == pytest.approx(sensor.area)
+        dense_breakdown = dense.cost_breakdown()
+        ref_breakdown = reference.cost_breakdown()
+        for key, value in dense_breakdown.terms().items():
+            assert value == pytest.approx(ref_breakdown.terms()[key], rel=1e-12), key
+
+
+QUICK_EQ_ES = EvolutionParams(
+    mu=3,
+    children_per_parent=2,
+    monte_carlo_per_parent=1,
+    generations=8,
+    convergence_window=6,
+)
+
+
+class TestOptimizerEquivalence:
+    """All seven optimisers, seeded, on the dense vs the reference
+    evaluation state: identical move sequences, identical final
+    partitions, costs matching within tolerance."""
+
+    @pytest.fixture(scope="class")
+    def opt_evaluator(self):
+        return PartitionEvaluator(_generated(17, gates=120, depth=9))
+
+    @pytest.fixture(scope="class")
+    def opt_start(self, opt_evaluator):
+        from repro.optimize.start import chain_start_partition
+
+        return chain_start_partition(opt_evaluator, 4, random.Random(7))
+
+    def _run_both(self, evaluator, run):
+        """Run ``run(evaluator)`` under each state implementation,
+        recording every state the optimiser creates so committed move
+        logs can be compared."""
+        outcomes = {}
+        original = type(evaluator).new_state
+        for impl in ("dense", "reference"):
+            created = []
+
+            def spy(partition, impl=impl, _created=created):
+                state = original(evaluator, partition, impl=impl)
+                _created.append(state)
+                return state
+
+            evaluator.new_state = spy
+            try:
+                result = run(evaluator)
+            finally:
+                del evaluator.new_state
+            outcomes[impl] = (result, [s.committed_moves() for s in created])
+        return outcomes["dense"], outcomes["reference"]
+
+    def _assert_equivalent(self, dense_outcome, reference_outcome):
+        dense, dense_logs = dense_outcome
+        reference, reference_logs = reference_outcome
+        assert dense_logs == reference_logs  # identical move sequences
+        assert dense.best.partition.canonical() == reference.best.partition.canonical()
+        assert dense.evaluations == reference.evaluations
+        assert dense.generations_run == reference.generations_run
+        assert dense.converged == reference.converged
+        assert dense.best_cost == pytest.approx(reference.best_cost, rel=1e-9)
+        assert len(dense.history) == len(reference.history)
+        for dense_record, reference_record in zip(dense.history, reference.history):
+            assert dense_record.generation == reference_record.generation
+            assert dense_record.num_modules == reference_record.num_modules
+            assert dense_record.evaluations == reference_record.evaluations
+            assert dense_record.best_feasible == reference_record.best_feasible
+            assert dense_record.best_cost == pytest.approx(
+                reference_record.best_cost, rel=1e-9
+            )
+            assert dense_record.mean_cost == pytest.approx(
+                reference_record.mean_cost, rel=1e-9
+            )
+
+    def test_evolution(self, opt_evaluator):
+        from repro.optimize.evolution import evolve_partition
+
+        self._assert_equivalent(
+            *self._run_both(
+                opt_evaluator,
+                lambda ev: evolve_partition(ev, QUICK_EQ_ES, seed=5),
+            )
+        )
+
+    def test_kl_refine(self, opt_evaluator, opt_start):
+        from repro.optimize.kl import kl_refine
+
+        self._assert_equivalent(
+            *self._run_both(
+                opt_evaluator,
+                lambda ev: kl_refine(ev, opt_start, max_passes=3, seed=3),
+            )
+        )
+
+    def test_greedy(self, opt_evaluator, opt_start):
+        from repro.optimize.greedy import greedy_refine
+
+        self._assert_equivalent(
+            *self._run_both(
+                opt_evaluator,
+                lambda ev: greedy_refine(ev, opt_start, max_passes=6),
+            )
+        )
+
+    def test_annealing(self, opt_evaluator, opt_start):
+        from repro.optimize.annealing import AnnealingParams, anneal_partition
+
+        params = AnnealingParams(
+            initial_temperature=10.0,
+            cooling=0.6,
+            steps_per_temperature=10,
+            min_temperature=0.4,
+        )
+        self._assert_equivalent(
+            *self._run_both(
+                opt_evaluator,
+                lambda ev: anneal_partition(ev, params, seed=2, start=opt_start),
+            )
+        )
+
+    def test_random_search(self, opt_evaluator):
+        from repro.optimize.random_search import random_search_partition
+
+        self._assert_equivalent(
+            *self._run_both(
+                opt_evaluator,
+                lambda ev: random_search_partition(ev, samples=20, seed=4),
+            )
+        )
+
+    def test_force_directed(self, opt_evaluator, opt_start):
+        from repro.optimize.force_directed import force_directed_partition
+
+        self._assert_equivalent(
+            *self._run_both(
+                opt_evaluator,
+                lambda ev: force_directed_partition(ev, seed=3, start=opt_start),
+            )
+        )
+
+    def test_portfolio(self, opt_evaluator):
+        from repro.optimize.annealing import AnnealingParams
+        from repro.optimize.portfolio import portfolio_partition
+
+        params = AnnealingParams(
+            initial_temperature=10.0,
+            cooling=0.6,
+            steps_per_temperature=8,
+            min_temperature=0.5,
+        )
+        self._assert_equivalent(
+            *self._run_both(
+                opt_evaluator,
+                lambda ev: portfolio_partition(
+                    ev,
+                    evolution_params=QUICK_EQ_ES,
+                    annealing_params=params,
+                    seed=3,
+                ),
+            )
+        )
