@@ -101,6 +101,27 @@ class SeparationMatrix:
             np.copyto(matrix.T, np.uint8(dist), where=bits.view(np.bool_))
         self.matrix = matrix
 
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, cap: int) -> "SeparationMatrix":
+        """Rewrap a previously built distance matrix (cache restore path).
+
+        The runtime artifact store persists :attr:`matrix` verbatim;
+        restoring skips the BFS entirely, and since the payload is the
+        exact byte-for-byte matrix, the restored object is
+        indistinguishable from a fresh build.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"separation matrix must be square, got {matrix.shape}")
+        if matrix.dtype != np.uint8:
+            raise ValueError(f"separation matrix must be uint8, got {matrix.dtype}")
+        if not 1 <= cap <= 255:
+            raise ValueError(f"separation cap must be in [1, 255], got {cap}")
+        instance = object.__new__(cls)
+        instance.cap = cap
+        instance.matrix = matrix
+        return instance
+
     def distance(self, g1: int, g2: int) -> int:
         """Capped distance between two dense gate indices."""
         return int(self.matrix[g1, g2])

@@ -14,7 +14,13 @@ from dataclasses import dataclass, field, replace
 
 from repro.errors import OptimizationError
 
-__all__ = ["CostWeights", "EvolutionParams", "SimulationConfig", "SynthesisConfig"]
+__all__ = [
+    "CostWeights",
+    "EvolutionParams",
+    "RuntimeConfig",
+    "SimulationConfig",
+    "SynthesisConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -121,6 +127,34 @@ class SimulationConfig:
 
 
 @dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution-runtime knobs (see :mod:`repro.runtime`).
+
+    Attributes:
+        jobs: process-pool worker count; ``None`` defers to the
+            ``REPRO_JOBS`` environment variable and then serial (1).
+            Resolved lazily by :func:`repro.runtime.executor.resolve_jobs`
+            so this module stays free of runtime imports.
+        cache_dir: artifact-store root; ``None`` defers to
+            ``REPRO_CACHE_DIR`` and then ``~/.cache/repro-part-iddq``.
+        defect_parallel: opt into the defect-parallel targeted ATPG
+            phase (independent per-defect RNG streams — deterministic
+            under a fixed seed, but a different walk than the serial
+            reference; see DESIGN.md §9).
+    """
+
+    jobs: int | None = None
+    cache_dir: str | None = None
+    defect_parallel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs is not None and self.jobs < 1:
+            raise OptimizationError("runtime jobs must be >= 1")
+        if self.cache_dir is not None and not self.cache_dir:
+            raise OptimizationError("cache_dir must be a non-empty path or None")
+
+
+@dataclass(frozen=True)
 class SynthesisConfig:
     """End-to-end flow configuration.
 
@@ -134,5 +168,6 @@ class SynthesisConfig:
     weights: CostWeights = field(default_factory=CostWeights)
     evolution: EvolutionParams = field(default_factory=EvolutionParams)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     time_resolved_degradation: bool = False
     seed: int = 1995

@@ -5,14 +5,71 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run table1 [--full]
     python -m repro.experiments all [--full]
+    python -m repro.experiments campaign [--circuits c432,c880]
+        [--stages separation,stuck-at,atpg,optimize] [--jobs N]
+        [--cache-dir DIR] [--out manifest.json] [--seed S] [--full]
+
+``all`` continues past a failing experiment, prints a per-experiment
+pass/fail summary and exits non-zero if any failed.  ``campaign`` runs
+pipeline stages x circuits through the artifact cache and process pool
+and writes a JSON manifest of artifacts, cache hits and timings
+(see :mod:`repro.runtime.campaign`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 
 from repro.experiments.catalog import experiment_names, run_experiment
+
+
+def _run_all(full: bool) -> int:
+    """Run every experiment, continuing on error; non-zero exit on any
+    failure."""
+    outcomes: list[tuple[str, Exception | None]] = []
+    for name in experiment_names():
+        try:
+            result = run_experiment(name, quick=not full)
+        except Exception as exc:  # noqa: BLE001 - sweep must survive any failure
+            traceback.print_exc()
+            print(f"== {name} == FAILED: {exc}")
+            outcomes.append((name, exc))
+        else:
+            print(result.render())
+            outcomes.append((name, None))
+        print()
+    failed = [name for name, exc in outcomes if exc is not None]
+    print(f"== summary: {len(outcomes) - len(failed)}/{len(outcomes)} passed ==")
+    for name, exc in outcomes:
+        status = "FAIL" if exc is not None else "ok"
+        detail = f"  ({type(exc).__name__}: {exc})" if exc is not None else ""
+        print(f"  {status:4s} {name}{detail}")
+    return 1 if failed else 0
+
+
+def _run_campaign(args) -> int:
+    from repro.runtime.campaign import (
+        CampaignConfig,
+        render_manifest,
+        run_campaign,
+        save_manifest,
+    )
+
+    config = CampaignConfig(
+        circuits=tuple(c.strip() for c in args.circuits.split(",") if c.strip()),
+        stages=tuple(s.strip() for s in args.stages.split(",") if s.strip()),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        seed=args.seed,
+        quick=not args.full,
+    )
+    manifest = run_campaign(config)
+    if args.out:
+        save_manifest(manifest, args.out)
+    print(render_manifest(manifest))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -27,6 +84,36 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--full", action="store_true", help="full (slow) budgets")
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--full", action="store_true", help="full (slow) budgets")
+    campaign = sub.add_parser(
+        "campaign",
+        help="run pipeline stages x circuits through the artifact cache "
+        "and process pool, writing a JSON manifest",
+    )
+    campaign.add_argument(
+        "--circuits",
+        default="c432,c880",
+        help="comma-separated ISCAS85 circuit names (default: c432,c880)",
+    )
+    campaign.add_argument(
+        "--stages",
+        default="separation,stuck-at,atpg,optimize",
+        help="comma-separated stage names, executed in order",
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool workers (default: $REPRO_JOBS, then serial)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact store root (default: $REPRO_CACHE_DIR, then "
+        "~/.cache/repro-part-iddq)",
+    )
+    campaign.add_argument("--out", default=None, help="manifest JSON path")
+    campaign.add_argument("--seed", type=int, default=1995)
+    campaign.add_argument("--full", action="store_true", help="full (slow) budgets")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -37,11 +124,9 @@ def main(argv: list[str] | None = None) -> int:
         result = run_experiment(args.name, quick=not args.full)
         print(result.render())
         return 0
-    for name in experiment_names():
-        result = run_experiment(name, quick=not args.full)
-        print(result.render())
-        print()
-    return 0
+    if args.command == "campaign":
+        return _run_campaign(args)
+    return _run_all(args.full)
 
 
 if __name__ == "__main__":

@@ -106,6 +106,8 @@ def generate_iddq_tests(
     compact: bool = True,
     engine: CoverageEngine | None = None,
     backend: str | SimBackend | None = None,
+    defect_parallel: bool = False,
+    jobs: int | None = None,
 ) -> IDDQTestSet:
     """Generate and compact an IDDQ test set for ``defects``.
 
@@ -121,6 +123,16 @@ def generate_iddq_tests(
             carries).
         backend: simulation-backend selection for the built engine (a
             registered name or ``None``/``"auto"`` for the default).
+        defect_parallel: opt into the defect-parallel targeted phase —
+            one independent seeded RNG stream per defect (stream id
+            ``f"{seed}:{defect_index}"``), sharded across the runtime's
+            process pool.  Deterministic for a fixed seed at any worker
+            count, but a *different* walk than the serial reference's
+            single shared stream, so results differ from (and coverage
+            is pinned to be no worse than) the default mode.
+        jobs: worker count for the defect-parallel phase (``None``
+            defers to ``REPRO_JOBS``; only meaningful with
+            ``defect_parallel=True``).
     """
     if engine is not None and (
         library is not None or technology is not None or backend is not None
@@ -129,6 +141,32 @@ def generate_iddq_tests(
             "pass either an engine or a library/technology/backend, not "
             "both — the engine already carries its own characterisation"
         )
+    search_all = None
+    if defect_parallel:
+        worker_library = engine.sim.library if engine is not None else library
+        worker_technology = engine.technology if engine is not None else technology
+        worker_backend = engine.backend.name if engine is not None else (
+            backend if isinstance(backend, str) else
+            backend.name if backend is not None else None
+        )
+
+        def search_all(undetected_indices):
+            from repro.runtime.parallel import defect_parallel_targeted
+
+            return defect_parallel_targeted(
+                circuit,
+                partition,
+                defects,
+                undetected_indices,
+                seed=seed,
+                restarts=restarts,
+                flip_budget=flip_budget,
+                library=worker_library,
+                technology=worker_technology,
+                backend_name=worker_backend,
+                jobs=jobs,
+            )
+
     engine = engine or CoverageEngine(circuit, library, technology, backend=backend)
     return _generate(
         lambda ds, ps: engine.detection_matrix(partition, ds, ps),
@@ -139,6 +177,7 @@ def generate_iddq_tests(
         restarts,
         flip_budget,
         compact,
+        search_all=search_all,
     )
 
 
@@ -183,6 +222,7 @@ def _generate(
     restarts: int,
     flip_budget: int,
     compact: bool,
+    search_all: Callable[[list[int]], dict[int, np.ndarray]] | None = None,
 ) -> IDDQTestSet:
     if not defects:
         raise FaultSimError("no defects to target")
@@ -194,18 +234,27 @@ def _generate(
     detected = matrix.any(axis=1)
     random_count = int(detected.sum())
 
-    # Targeted phase: hill-climb per missed defect.
+    # Targeted phase: hill-climb per missed defect.  The serial
+    # reference walks the defects in order through one shared RNG; a
+    # ``search_all`` override (the defect-parallel mode) supplies the
+    # found vectors for every undetected defect at once instead.
     extra_vectors: list[np.ndarray] = []
     targeted_hits: set[int] = set()
-    for d, defect in enumerate(defects):
-        if detected[d]:
-            continue
-        vector = _search_activating_vector(
-            detect, defect, rng, num_inputs, restarts, flip_budget
-        )
-        if vector is not None:
-            extra_vectors.append(vector)
+    if search_all is not None:
+        found = search_all([d for d in range(len(defects)) if not detected[d]])
+        for d in sorted(found):
+            extra_vectors.append(found[d])
             targeted_hits.add(d)
+    else:
+        for d, defect in enumerate(defects):
+            if detected[d]:
+                continue
+            vector = _search_activating_vector(
+                detect, defect, rng, num_inputs, restarts, flip_budget
+            )
+            if vector is not None:
+                extra_vectors.append(vector)
+                targeted_hits.add(d)
 
     if extra_vectors:
         pool = np.vstack([pool, np.stack(extra_vectors)])

@@ -34,6 +34,8 @@ floats, same booleans, same report.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
@@ -65,6 +67,11 @@ class CoverageEngine:
     #: Most-recently-used slots for the observation-structure cache.
     _OBS_CACHE_SLOTS = 8
 
+    #: Most-recently-used slots for the simulation-state cache — enough
+    #: to hold an ATPG walk's current flip batch, a handful of restart
+    #: baselines and the full-pool batch simultaneously.
+    _STATE_SLOTS = 8
+
     #: Fall back to a full re-simulation when more input columns than
     #: this changed against the cached batch — a mostly-new batch (e.g.
     #: a hill-climb restart) touches most of the circuit anyway, so the
@@ -82,10 +89,21 @@ class CoverageEngine:
         self.technology = technology or generic_technology()
         self.backend = get_backend(backend)
         self.sim = IDDQSimulator(circuit, library, backend=self.backend)
-        # (patterns copy, values, unpacked bits, lazy full leakage matrix)
-        self._pattern_cache: (
-            tuple[np.ndarray, NodeValues, np.ndarray, np.ndarray | None] | None
-        ) = None
+        # Content-addressed simulation-state cache: batch digest ->
+        # [patterns copy, values, unpacked bits, lazy full leakage
+        # matrix].  Multiple slots (MRU) so interleaved pattern sets —
+        # an ATPG hill-climb's flip batches against the full-pool
+        # coverage checks, or several restarts' baselines — reuse each
+        # other's simulated state instead of thrashing a single slot.
+        # ``_active_key`` names the slot the background cache below is
+        # valid for.
+        self._state_cache: OrderedDict[
+            tuple, list
+        ] = OrderedDict()  # key -> [patterns, values, bits, leak|None]
+        self._active_key: tuple | None = None
+        #: (full resims, incremental patches, content hits) — the
+        #: sim-state reuse telemetry the runtime tests assert on.
+        self.state_stats = {"full": 0, "patches": 0, "hits": 0}
         self._obs_cache: dict[
             tuple, tuple[Partition, tuple[Defect, ...], np.ndarray, np.ndarray]
         ] = {}
@@ -149,79 +167,122 @@ class CoverageEngine:
         return self._prepare(patterns)[0]
 
     # ---------------------------------------------------------------- internal
+    @staticmethod
+    def _state_key(patterns: np.ndarray) -> tuple:
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(patterns).tobytes(), digest_size=16
+        ).digest()
+        return (patterns.shape, str(patterns.dtype), digest)
+
     def _prepare(self, patterns: np.ndarray) -> tuple[NodeValues, np.ndarray]:
         """Content-cached fault-free simulation + unpacked node bits.
 
-        The cache stores a private copy of the last pattern batch and
-        hits on content equality, so callers mutating a batch in place
-        (or passing an equal batch in a new array) always get results
-        for the values they passed.  A near-miss — same batch shape,
-        few input columns changed — is patched incrementally when the
-        backend supports event-driven replay: only the flipped inputs'
-        fanout cones are re-simulated and re-unpacked (the ATPG
-        hill-climb's step cost).
+        The cache holds up to :attr:`_STATE_SLOTS` recently simulated
+        batches, addressed by content digest, so callers mutating a
+        batch in place (or passing an equal batch in a new array)
+        always get results for the values they passed, and *alternating*
+        batches — an ATPG walk's flip batch against full-pool coverage
+        checks, a revisited restart baseline — hit without resimulating.
+        A near-miss — same shape as some cached slot, few input columns
+        changed — is patched incrementally from the **closest** slot
+        when the backend supports event-driven replay: only the flipped
+        inputs' fanout cones are re-simulated and re-unpacked (the ATPG
+        hill-climb's step cost).  The module-background cache is tied
+        to the *active* slot; switching the active batch clears it.
         """
-        cached = self._pattern_cache
         patterns = np.asarray(patterns)
-        if cached is not None and cached[0].shape == patterns.shape:
-            if np.array_equal(cached[0], patterns):
-                return cached[1], cached[2]
-            if self.backend.supports_incremental:
-                prepared = self._prepare_incremental(cached, patterns)
-                if prepared is not None:
-                    return prepared
+        key = self._state_key(patterns)
+        entry = self._state_cache.get(key)
+        if entry is not None and np.array_equal(entry[0], patterns):
+            self._state_cache.move_to_end(key)
+            self._activate(key)
+            self.state_stats["hits"] += 1
+            return entry[1], entry[2]
+        if self.backend.supports_incremental:
+            prepared = self._prepare_incremental(key, patterns)
+            if prepared is not None:
+                return prepared
         values = self.sim.simulate_values(patterns)
         bits = self.sim.unpack_bits(values)
-        self._pattern_cache = (patterns.copy(), values, bits, None)
-        self._bg_cache.clear()
+        self._remember(key, [patterns.copy(), values, bits, None])
+        self.state_stats["full"] += 1
         return values, bits
 
-    def _prepare_incremental(
-        self,
-        cached: tuple[np.ndarray, NodeValues, np.ndarray, np.ndarray | None],
-        patterns: np.ndarray,
-    ) -> tuple[NodeValues, np.ndarray] | None:
-        """Patch the cached batch through the incremental backend.
+    def _activate(self, key: tuple) -> None:
+        """Make ``key`` the slot the background cache refers to."""
+        if key != self._active_key:
+            self._bg_cache.clear()
+            self._active_key = key
 
-        Returns ``None`` (caller re-simulates from scratch) when too
-        many input columns changed.  The cached ``bits`` matrix is
-        engine-private, so it is patched in place for the re-evaluated
-        rows only; earlier ``NodeValues`` handed out by
-        :meth:`prepared_values` stay untouched because
+    def _remember(self, key: tuple, entry: list) -> None:
+        self._state_cache[key] = entry
+        self._state_cache.move_to_end(key)
+        while len(self._state_cache) > self._STATE_SLOTS:
+            self._state_cache.popitem(last=False)
+        self._activate(key)
+
+    def _prepare_incremental(
+        self, key: tuple, patterns: np.ndarray
+    ) -> tuple[NodeValues, np.ndarray] | None:
+        """Patch the new batch from the closest cached slot.
+
+        Returns ``None`` (caller re-simulates from scratch) when no
+        same-shaped slot is within the column limit.  The source slot
+        stays cached, so its ``bits`` matrix is copied before patching;
+        ``NodeValues`` handed out earlier stay untouched because
         :meth:`~repro.faultsim.logic_sim.LogicSimulator.simulate_delta`
-        never mutates its baseline.  The cached lazy leakage matrix is
-        dropped with the cache entry — leakage is state-dependent, so a
-        patched state must never reuse it.
+        never mutates its baseline.  The lazy leakage matrix is not
+        carried over — leakage is state-dependent, so a patched state
+        must never reuse it.  Module-background dirty marking applies
+        only when patching *from the active slot* (the background rows
+        correspond to that batch); patching from any other slot clears
+        the background cache instead.
         """
-        old_patterns, old_values, bits, _ = cached
-        changed_cols = np.flatnonzero((patterns != old_patterns).any(axis=0))
-        if changed_cols.size > self._INCREMENTAL_COL_LIMIT:
+        best: tuple[tuple, list, np.ndarray] | None = None
+        for slot_key in reversed(self._state_cache):  # most recent first
+            slot = self._state_cache[slot_key]
+            if slot[0].shape != patterns.shape:
+                continue
+            changed_cols = np.flatnonzero((patterns != slot[0]).any(axis=0))
+            if changed_cols.size > self._INCREMENTAL_COL_LIMIT:
+                continue
+            if best is None or changed_cols.size < best[2].size:
+                best = (slot_key, slot, changed_cols)
+                if changed_cols.size <= 1:
+                    break
+        if best is None:
             return None
+        source_key, source, changed_cols = best
         values, changed_rows = self.sim.simulator.simulate_delta(
-            old_values, patterns, return_changed=True, changed_cols=changed_cols
+            source[1], patterns, return_changed=True, changed_cols=changed_cols
         )
+        bits = source[2].copy()
         if changed_rows.size:
             sub = np.ascontiguousarray(values.packed[changed_rows])
             bits[changed_rows] = np.unpackbits(
                 sub.view(np.uint8), axis=1, bitorder="little"
             )[:, : values.num_patterns].astype(np.int32)
-            changed_mask = np.zeros(bits.shape[0], dtype=bool)
-            changed_mask[changed_rows] = True
-            for entry in self._bg_cache.values():
-                if changed_mask[entry[1]].any():
-                    entry[4].append(changed_rows)
-        self._pattern_cache = (patterns.copy(), values, bits, None)
+        if source_key == self._active_key:
+            if changed_rows.size:
+                changed_mask = np.zeros(bits.shape[0], dtype=bool)
+                changed_mask[changed_rows] = True
+                for entry in self._bg_cache.values():
+                    if changed_mask[entry[1]].any():
+                        entry[4].append(changed_rows)
+            # The background rows now describe the patched batch.
+            self._active_key = key
+        self._remember(key, [patterns.copy(), values, bits, None])
+        self.state_stats["patches"] += 1
         return values, bits
 
     def _full_leak(self, values: NodeValues) -> np.ndarray:
-        """Lazily computed full leakage matrix for the cached batch."""
-        cached = self._pattern_cache
-        if cached is not None and cached[1] is values and cached[3] is not None:
-            return cached[3]
-        leak = self.sim.gate_leakage_na(values)
-        if cached is not None and cached[1] is values:
-            self._pattern_cache = cached[:3] + (leak,)
-        return leak
+        """Lazily computed full leakage matrix for a cached batch."""
+        for entry in self._state_cache.values():
+            if entry[1] is values:
+                if entry[3] is None:
+                    entry[3] = self.sim.gate_leakage_na(values)
+                return entry[3]
+        return self.sim.gate_leakage_na(values)
 
     def _detect(
         self,

@@ -150,13 +150,30 @@ class StuckAtSimulator:
         return StuckAtFault(self.circuit.all_names[row], value)
 
     def detection_matrix(
-        self, faults: Sequence[StuckAtFault], patterns: np.ndarray
+        self,
+        faults: Sequence[StuckAtFault],
+        patterns: np.ndarray,
+        jobs: int | None = None,
     ) -> np.ndarray:
         """Boolean ``(faults, patterns)``: vector p detects fault f.
 
-        Bit-identical to :class:`ReferenceStuckAtSimulator`.
+        Bit-identical to :class:`ReferenceStuckAtSimulator`.  With
+        ``jobs`` > 1 the fault list is sharded across the runtime's
+        process pool (:func:`repro.runtime.parallel.sharded_detection_matrix`);
+        every fault's row is computed independently of its batch-mates,
+        so the sharded result is bit-identical at any worker count.
         """
         patterns = self.simulator._check_patterns(patterns)
+        if jobs is not None and jobs > 1:
+            from repro.runtime.parallel import sharded_detection_matrix
+
+            return sharded_detection_matrix(
+                self.circuit,
+                faults,
+                patterns,
+                jobs=jobs,
+                backend=self.simulator.backend.name,
+            )
         num_patterns = patterns.shape[0]
         out = np.zeros((len(faults), num_patterns), dtype=np.bool_)
         classes = self._collapse_classes(faults)

@@ -116,6 +116,9 @@ class PartitionEvaluator:
             :meth:`new_state` — ``"dense"`` (the transactional
             array-backed core, default) or ``"reference"`` (the
             dict-based executable specification).
+        separation: a prebuilt separation matrix to reuse (the runtime
+            artifact cache restores one instead of re-running the BFS);
+            its cap must match the technology's ``separation_cap``.
     """
 
     def __init__(
@@ -128,6 +131,7 @@ class PartitionEvaluator:
         time_resolved_degradation: bool = False,
         backend=None,
         state_impl: str = "dense",
+        separation: SeparationMatrix | None = None,
     ):
         if state_impl not in ("dense", "reference"):
             raise ValueError(f"unknown state_impl {state_impl!r}")
@@ -141,9 +145,23 @@ class PartitionEvaluator:
 
         self.times = TransitionTimes.compute(circuit)
         self.electricals = GateElectricals.compute(circuit, self.library)
-        self.separation = SeparationMatrix(
-            circuit, self.technology.separation_cap, backend=backend
-        )
+        if separation is not None:
+            if separation.cap != self.technology.separation_cap:
+                raise ValueError(
+                    f"injected separation matrix has cap {separation.cap}, "
+                    f"technology requires {self.technology.separation_cap}"
+                )
+            expected = len(circuit.gate_names)
+            if separation.matrix.shape[0] != expected:
+                raise ValueError(
+                    f"injected separation matrix covers "
+                    f"{separation.matrix.shape[0]} gates, circuit has {expected}"
+                )
+            self.separation = separation
+        else:
+            self.separation = SeparationMatrix(
+                circuit, self.technology.separation_cap, backend=backend
+            )
         self.timing = LevelizedTiming(circuit)
         self.nominal_delay_ns = self.timing.critical_path_delay(self.electricals.delay_ns)
         self.ones = np.ones(len(circuit.gate_names), dtype=np.float64)

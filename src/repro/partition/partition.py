@@ -134,6 +134,16 @@ class Partition:
     def module_of_name(self, name: str) -> int:
         return int(self._module_of[self.circuit.gate_index[name]])
 
+    def module_of_array(self) -> np.ndarray:
+        """The dense gate -> module-id assignment, as an int32 copy.
+
+        The canonical serialisable form: ``Partition(circuit,
+        dict(enumerate(arr)))`` reconstructs an equal partition
+        (same grouping *and* same module ids).  The runtime layer
+        fingerprints and caches partitions through it.
+        """
+        return self._module_of.copy()
+
     def gates_of(self, module: int) -> frozenset[int]:
         try:
             return frozenset(self._modules[module])

@@ -1,0 +1,47 @@
+"""The parallel execution runtime (DESIGN.md §9).
+
+Three pieces turn the per-stage kernels into a production pipeline:
+
+* :mod:`~repro.runtime.fingerprint` + :mod:`~repro.runtime.store` — a
+  content-addressed on-disk artifact cache.  Circuits, libraries and
+  config dataclasses hash to stable digests; expensive artifacts
+  (separation matrices, detection matrices, test sets, optimiser
+  results) are memoized under ``REPRO_CACHE_DIR`` with exact-equality
+  round-trips and schema-versioned keys.
+* :mod:`~repro.runtime.executor` — a deterministic shard/submit/gather
+  process pool (worker count via ``REPRO_JOBS``, serial in-process
+  fallback) with ordered gather, so every parallel build is
+  result-identical to its serial reference.
+* :mod:`~repro.runtime.campaign` — the ``python -m repro.experiments
+  campaign`` runner: stages x circuits through cache + pool, emitting a
+  JSON manifest of artifacts, cache hits and timings.
+
+:mod:`~repro.runtime.parallel` holds the domain drivers (sharded
+stuck-at detection, defect-parallel IDDQ ATPG, multi-seed portfolios)
+and :mod:`~repro.runtime.artifacts` the typed cache recipes.
+"""
+
+from repro.runtime.executor import Executor, resolve_jobs
+from repro.runtime.fingerprint import (
+    combine,
+    fingerprint_circuit,
+    fingerprint_library,
+    fingerprint_partition,
+    fingerprint_technology,
+    fingerprint_value,
+)
+from repro.runtime.store import Artifact, ArtifactStore, default_cache_dir
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "Executor",
+    "combine",
+    "default_cache_dir",
+    "fingerprint_circuit",
+    "fingerprint_library",
+    "fingerprint_partition",
+    "fingerprint_technology",
+    "fingerprint_value",
+    "resolve_jobs",
+]

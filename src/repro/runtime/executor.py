@@ -1,0 +1,164 @@
+"""The deterministic shard/submit/gather process-pool executor.
+
+One small abstraction carries every parallel workload in the tree:
+sharded stuck-at detection-matrix builds, defect-parallel IDDQ ATPG and
+multi-seed optimiser fan-outs all go through :meth:`Executor.map`.
+
+Determinism rules (the contract every consumer is tested against):
+
+1. **Pure tasks.**  ``fn(state, task)`` must be a deterministic function
+   of the worker state (as built by ``state_factory``) and the task —
+   no dependence on wall clock, worker identity or sibling tasks.
+2. **Ordered gather.**  Results come back in *task order*, regardless
+   of which worker finished first, so any order-sensitive reduction
+   (matrix concatenation, best-of tie-breaks) sees the serial order.
+3. **Serial fallback is the reference.**  With ``jobs <= 1`` the exact
+   same ``fn``/``state_factory`` run in-process; the parallel path must
+   produce identical results, which is what the equivalence tests pin.
+
+Worker count resolution: explicit argument > ``REPRO_JOBS`` environment
+variable > serial (1).  The pool start method is the platform default
+(fork on Linux — worker state passed through the initializer is then
+inherited without pickling).  Infrastructure failures (a sandbox that
+forbids ``fork``, unpicklable state under ``spawn``, a broken pool)
+degrade to the serial path with a warning rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["Executor", "resolve_jobs"]
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Per-worker state, built once by the initializer.
+_WORKER_STATE = None
+
+
+class _TaskError:
+    """A task-raised exception, shipped back as a *value*.
+
+    Wrapping keeps genuine task failures distinguishable from
+    pool-infrastructure errors: only the latter may trigger the serial
+    fallback — a bug inside ``fn`` must surface once, not re-run the
+    whole task list and then surface anyway.
+    """
+
+    def __init__(self, exception: BaseException):
+        self.exception = exception
+
+
+class _TaskFailure(Exception):
+    """Internal carrier lifting a :class:`_TaskError` past the
+    infrastructure ``except`` clause in :meth:`Executor.map`."""
+
+    def __init__(self, exception: BaseException):
+        super().__init__(str(exception))
+        self.exception = exception
+
+
+def _init_worker(state_factory) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state_factory() if state_factory is not None else None
+
+
+def _invoke(fn, task):
+    try:
+        return fn(_WORKER_STATE, task)
+    except Exception as exc:  # noqa: BLE001 - transported to the parent
+        return _TaskError(exc)
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit > ``REPRO_JOBS`` > 1 (serial)."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer, got {env!r}"
+                ) from exc
+    if jobs is None:
+        return 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+class Executor:
+    """Shard/submit/gather over a process pool (see module docstring)."""
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = resolve_jobs(jobs)
+
+    @property
+    def serial(self) -> bool:
+        return self.jobs <= 1
+
+    def map(
+        self,
+        fn: Callable[[object, T], R],
+        tasks: Iterable[T],
+        state_factory: Callable[[], object] | None = None,
+    ) -> list[R]:
+        """Run ``fn(state, task)`` for every task; results in task order.
+
+        ``fn`` and ``state_factory`` must be module-level callables (or
+        ``functools.partial`` of one) so they survive pickling; the
+        state factory runs once per worker.  Serial mode builds the
+        state once in-process and loops.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.serial or len(tasks) == 1:
+            return self._run_serial(fn, tasks, state_factory)
+        try:
+            return self._run_parallel(fn, tasks, state_factory)
+        except _TaskFailure as failure:
+            raise failure.exception from None
+        except (BrokenProcessPool, pickle.PicklingError, AttributeError,
+                OSError) as exc:
+            # Only infrastructure failures reach here — a sandbox that
+            # forbids fork, an unpicklable fn/state under spawn, a dead
+            # pool.  Task-raised exceptions come back as _TaskError
+            # values and re-raise above without a fallback rerun.
+            warnings.warn(
+                f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                "falling back to the serial executor",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._run_serial(fn, tasks, state_factory)
+
+    # ---------------------------------------------------------------- internal
+    @staticmethod
+    def _run_serial(fn, tasks: Sequence, state_factory) -> list:
+        state = state_factory() if state_factory is not None else None
+        return [fn(state, task) for task in tasks]
+
+    def _run_parallel(self, fn, tasks: Sequence, state_factory) -> list:
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(state_factory,),
+        ) as pool:
+            futures = [pool.submit(_invoke, fn, task) for task in tasks]
+            results = [future.result() for future in futures]
+        for result in results:
+            if isinstance(result, _TaskError):
+                raise _TaskFailure(result.exception)
+        return results

@@ -1,0 +1,184 @@
+"""Stable content fingerprints for cacheable inputs.
+
+The artifact store (:mod:`repro.runtime.store`) is content-addressed:
+an artifact's key is a cryptographic hash of *everything its bytes
+depend on* — the circuit structure, the electrical characterisation,
+the algorithm parameters and a per-kind schema version.  Two runs that
+hash the same inputs may share the artifact; any input change moves the
+key and silently invalidates the old entry.
+
+Fingerprints are computed from **values, not identities**:
+
+* a :class:`~repro.netlist.circuit.Circuit` hashes its
+  :class:`~repro.netlist.compiled.CompiledGraph` arrays (type codes and
+  fanin CSR — the full structure, declaration order included) plus the
+  node-name table and primary-output list.  Names matter because fault
+  and defect descriptions reference nets by name.  The digest is cached
+  on the circuit instance (circuits are immutable);
+* libraries/technologies hash their dataclass field values
+  (:class:`~repro.library.cell.CellSpec` fields in sorted cell order);
+* config dataclasses, dicts, tuples and numpy arrays hash through a
+  canonical recursive encoding (type-tagged, so ``1``, ``1.0`` and
+  ``"1"`` never collide).
+
+Floats are hashed via their shortest-repr encoding, which is exact
+(``float(repr(x)) == x``), so a fingerprint is reproducible across
+processes and platforms with IEEE-754 doubles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.library.library import CellLibrary
+from repro.library.technology import Technology
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "combine",
+    "fingerprint_circuit",
+    "fingerprint_library",
+    "fingerprint_partition",
+    "fingerprint_technology",
+    "fingerprint_value",
+]
+
+#: Digest length in hex characters (blake2b-160: ample for a cache key,
+#: short enough for readable file names).
+_DIGEST_BYTES = 20
+
+
+def _hasher() -> "hashlib._Hash":
+    return hashlib.blake2b(digest_size=_DIGEST_BYTES)
+
+
+def _feed(h, obj) -> None:
+    """Feed ``obj`` into ``h`` through the canonical type-tagged encoding."""
+    if obj is None:
+        h.update(b"N")
+    elif obj is True:
+        h.update(b"T")
+    elif obj is False:
+        h.update(b"F")
+    elif isinstance(obj, int):
+        h.update(b"i" + str(obj).encode())
+    elif isinstance(obj, float):
+        # repr round-trips IEEE doubles exactly; hash the repr so equal
+        # floats hash equal across processes.
+        h.update(b"f" + repr(obj).encode())
+    elif isinstance(obj, str):
+        data = obj.encode()
+        h.update(b"s" + str(len(data)).encode() + b":" + data)
+    elif isinstance(obj, bytes):
+        h.update(b"b" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(b"a" + str(arr.dtype).encode() + str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, np.generic):
+        _feed(h, obj.item())
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"(" if isinstance(obj, tuple) else b"[")
+        for item in obj:
+            _feed(h, item)
+        h.update(b")")
+    elif isinstance(obj, (dict,)):
+        h.update(b"{")
+        for key in sorted(obj, key=repr):
+            _feed(h, key)
+            _feed(h, obj[key])
+        h.update(b"}")
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"<")
+        for item in sorted(obj, key=repr):
+            _feed(h, item)
+        h.update(b">")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"D" + type(obj).__name__.encode())
+        for field in dataclasses.fields(obj):
+            _feed(h, field.name)
+            _feed(h, getattr(obj, field.name))
+    elif isinstance(obj, Circuit):
+        h.update(b"C" + fingerprint_circuit(obj).encode())
+    elif isinstance(obj, CellLibrary):
+        h.update(b"L" + fingerprint_library(obj).encode())
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(obj).__name__!r}: add an explicit "
+            "encoding rather than relying on repr()"
+        )
+
+
+def fingerprint_value(obj) -> str:
+    """Canonical content digest of any supported value tree."""
+    h = _hasher()
+    _feed(h, obj)
+    return h.hexdigest()
+
+
+def combine(kind: str, version: int, *parts) -> str:
+    """Cache key for one artifact: kind + schema version + input digests.
+
+    ``parts`` may be fingerprint strings or raw values (hashed through
+    :func:`fingerprint_value`).
+    """
+    h = _hasher()
+    _feed(h, kind)
+    _feed(h, version)
+    for part in parts:
+        _feed(h, part)
+    return h.hexdigest()
+
+
+def fingerprint_circuit(circuit: Circuit) -> str:
+    """Structural digest of a circuit, cached on the instance.
+
+    Derived from the compiled graph: node-name table, primary outputs,
+    per-node type codes and the fanin CSR (declaration order preserved
+    — two circuits with the same gates but swapped fanin order compute
+    different functions for non-commutative downstream consumers such
+    as path extraction, so they hash differently).
+    """
+    cached = circuit.__dict__.get("_runtime_fingerprint")
+    if cached is not None:
+        return cached
+    cg = circuit.compiled
+    h = _hasher()
+    _feed(h, "circuit")
+    _feed(h, circuit.name)
+    _feed(h, list(circuit.all_names))
+    _feed(h, list(circuit.output_names))
+    _feed(h, cg.type_code)
+    _feed(h, cg.fanin_indptr)
+    _feed(h, cg.fanin_indices)
+    digest = h.hexdigest()
+    circuit.__dict__["_runtime_fingerprint"] = digest
+    return digest
+
+
+def fingerprint_library(library: CellLibrary) -> str:
+    """Digest of a cell library: name plus every cell's field values."""
+    h = _hasher()
+    _feed(h, "library")
+    _feed(h, library.name)
+    for cell in sorted(library, key=lambda c: c.name):
+        _feed(h, cell)
+    return h.hexdigest()
+
+
+def fingerprint_technology(technology: Technology) -> str:
+    """Digest of the technology constants (a frozen dataclass)."""
+    return fingerprint_value(technology)
+
+
+def fingerprint_partition(partition) -> str:
+    """Digest of a partition: the dense gate -> module-id assignment.
+
+    Module *ids* are included (not just the grouping): downstream
+    artifacts key per-module data on the ids.
+    """
+    return fingerprint_value(partition.module_of_array())

@@ -1,0 +1,175 @@
+"""The content-addressed on-disk artifact store.
+
+Expensive artifacts — separation matrices, stuck-at detection matrices,
+ATPG test sets, optimiser results — are memoized on disk, keyed by a
+:mod:`~repro.runtime.fingerprint` digest of everything they depend on.
+
+Layout (one file per artifact, ``npz`` container)::
+
+    <root>/v1/<kind>/<key[:2]>/<key>.npz
+
+* ``<root>`` comes from the constructor, the ``REPRO_CACHE_DIR``
+  environment variable, or ``~/.cache/repro-part-iddq``;
+* ``v1`` is the *store* layout version; each artifact kind additionally
+  carries its own schema version inside the cache key (bump the kind's
+  version in :mod:`repro.runtime.artifacts` to invalidate just that
+  kind);
+* the two-hex-char fan-out keeps directories small under large
+  campaigns.
+
+An artifact is a dict of numpy arrays plus a JSON-serialisable metadata
+dict (stored inside the npz as one JSON string), written atomically
+(temp file + rename), so concurrent writers of the *same* key are
+harmless — last rename wins with identical bytes.  Round-trips are
+**exact**: arrays keep dtype/shape/bytes, floats survive through JSON's
+shortest-repr encoding.  A corrupt or truncated file is treated as a
+miss and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+__all__ = ["Artifact", "ArtifactStore", "default_cache_dir"]
+
+_LAYOUT = "v1"
+_META_KEY = "__meta__"
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-part-iddq``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-part-iddq"
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One loaded artifact: named arrays plus JSON metadata."""
+
+    kind: str
+    key: str
+    arrays: Mapping[str, np.ndarray]
+    meta: Mapping[str, object]
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/put counters, per kind and total."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def _bump(self, kind: str, slot: str) -> None:
+        entry = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0, "puts": 0})
+        entry[slot] += 1
+        setattr(self, slot, getattr(self, slot) + 1)
+
+
+class ArtifactStore:
+    """Content-addressed npz artifact cache (see module docstring)."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ paths
+    def path_for(self, kind: str, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"artifact key must be a hex digest, got {key!r}")
+        return self.root / _LAYOUT / kind / key[:2] / f"{key}.npz"
+
+    # ------------------------------------------------------------------ access
+    def get(self, kind: str, key: str) -> Artifact | None:
+        """Load an artifact, or ``None`` on miss (corrupt files count as
+        misses and are removed)."""
+        path = self.path_for(kind, key)
+        if not path.is_file():
+            self.stats._bump(kind, "misses")
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                arrays = {
+                    name: payload[name] for name in payload.files if name != _META_KEY
+                }
+                meta = json.loads(str(payload[_META_KEY]))
+        except (OSError, ValueError, KeyError, json.JSONDecodeError,
+                zipfile.BadZipFile):
+            # A half-written or foreign file: drop it and rebuild.
+            path.unlink(missing_ok=True)
+            self.stats._bump(kind, "misses")
+            return None
+        self.stats._bump(kind, "hits")
+        return Artifact(kind=kind, key=key, arrays=arrays, meta=meta)
+
+    def put(
+        self,
+        kind: str,
+        key: str,
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, object] | None = None,
+    ) -> Path:
+        """Write an artifact atomically; returns its path."""
+        if _META_KEY in arrays:
+            raise ValueError(f"array name {_META_KEY!r} is reserved")
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {name: np.asarray(value) for name, value in arrays.items()}
+        for name, value in payload.items():
+            if value.dtype.kind == "O":
+                raise ValueError(
+                    f"array {name!r} has object dtype; artifacts must be "
+                    "plain numeric/bool/bytes arrays (no pickles)"
+                )
+        payload[_META_KEY] = np.asarray(json.dumps(meta or {}, sort_keys=True))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **payload)
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        self.stats._bump(kind, "puts")
+        return path
+
+    def fetch(
+        self,
+        kind: str,
+        key: str,
+        build: Callable[[], tuple[Mapping[str, np.ndarray], Mapping[str, object]]],
+    ) -> tuple[Artifact, bool]:
+        """Memoize: load ``(kind, key)`` or build, store and reload-shape it.
+
+        Returns ``(artifact, hit)``.  The built payload is returned
+        as-is (not re-read from disk) — the round-trip test suite pins
+        write/read exactness separately.
+        """
+        cached = self.get(kind, key)
+        if cached is not None:
+            return cached, True
+        arrays, meta = build()
+        self.put(kind, key, arrays, meta)
+        return (
+            Artifact(
+                kind=kind,
+                key=key,
+                arrays={n: np.asarray(v) for n, v in arrays.items()},
+                meta=dict(meta),
+            ),
+            False,
+        )

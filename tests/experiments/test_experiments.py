@@ -30,6 +30,49 @@ class TestCatalog:
             run_experiment("nope")
 
 
+class TestAllContinuesOnError:
+    """``python -m repro.experiments all`` must survive a failing
+    experiment: run the rest, print a pass/fail summary, exit non-zero."""
+
+    @pytest.fixture
+    def patched_registry(self, monkeypatch):
+        from repro.experiments import catalog
+        from repro.experiments.catalog import ExperimentResult
+
+        def ok(quick):
+            return ExperimentResult(name="ok", headers=["x"], rows=[[1]])
+
+        def boom(quick):
+            raise ExperimentError("synthetic failure")
+
+        monkeypatch.setattr(
+            catalog, "EXPERIMENTS", {"aa-boom": boom, "zz-ok": ok}
+        )
+
+    def test_failure_does_not_abort_sweep(self, patched_registry, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["all"])
+        out = capsys.readouterr().out
+        assert code == 1
+        # The failing experiment is reported, the later one still ran.
+        assert "aa-boom" in out and "synthetic failure" in out
+        assert "== ok ==" in out
+        assert "summary: 1/2 passed" in out
+        assert "FAIL aa-boom" in out
+        assert "ok   zz-ok" in out
+
+    def test_all_green_exits_zero(self, patched_registry, monkeypatch, capsys):
+        from repro.experiments import catalog
+        from repro.experiments.__main__ import main
+
+        registry = dict(catalog.EXPERIMENTS)
+        registry.pop("aa-boom")
+        monkeypatch.setattr(catalog, "EXPERIMENTS", registry)
+        assert main(["all"]) == 0
+        assert "summary: 1/1 passed" in capsys.readouterr().out
+
+
 class TestFigure45:
     def test_demo_technology_forces_two_modules(self, c17_paper):
         from repro.partition.evaluator import PartitionEvaluator

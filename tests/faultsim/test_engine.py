@@ -245,3 +245,61 @@ class TestPatternCache:
         assert np.array_equal(
             m_multi, detection_matrix(circuit, partition, defects, patterns)
         )
+
+
+class TestStateReuse:
+    """The multi-slot sim-state cache (sim-state reuse across ATPG
+    restarts, DESIGN §9): alternating batches hit cached slots instead
+    of resimulating, near-miss batches patch from the closest slot, and
+    every path stays exact."""
+
+    def test_alternating_batches_hit_cached_slots(self, setup):
+        circuit, *_ = setup
+        engine = CoverageEngine(circuit)
+        num_inputs = len(circuit.input_names)
+        a = random_patterns(num_inputs, 24, seed=10)
+        b = random_patterns(num_inputs, 48, seed=11)
+        for _ in range(3):
+            engine.prepared_values(a)
+            engine.prepared_values(b)
+        # Two full simulations, every revisit a content hit (the old
+        # single-slot cache resimulated on every alternation).
+        assert engine.state_stats["full"] == 2
+        assert engine.state_stats["hits"] == 4
+
+    def test_restart_baseline_patches_from_closest_slot(self, setup):
+        circuit, *_ = setup
+        engine = CoverageEngine(circuit)
+        num_inputs = len(circuit.input_names)
+        baseline = random_patterns(num_inputs, 16, seed=12)
+        other = random_patterns(num_inputs, 32, seed=13)
+        engine.prepared_values(baseline)
+        engine.prepared_values(other)  # a full-pool check intervenes
+        walked = baseline.copy()
+        walked[:, 1] ^= 1  # one flipped input column: the next step
+        engine.prepared_values(walked)
+        if engine.backend.supports_incremental:
+            assert engine.state_stats["patches"] == 1
+            assert engine.state_stats["full"] == 2
+
+    def test_patched_and_hit_states_stay_exact(self, setup):
+        circuit, partition, defects, _ = setup
+        engine = CoverageEngine(circuit)
+        num_inputs = len(circuit.input_names)
+        batches = [random_patterns(num_inputs, 16, seed=s) for s in (20, 21)]
+        flipped = batches[0].copy()
+        flipped[:, 2] ^= 1
+        batches.append(flipped)
+        batches.append(batches[0])  # revisit
+        for batch in batches:
+            got = engine.detection_matrix(partition, defects, batch)
+            want = detection_matrix(circuit, partition, defects, batch)
+            assert np.array_equal(got, want)
+
+    def test_slot_count_is_bounded(self, setup):
+        circuit, *_ = setup
+        engine = CoverageEngine(circuit)
+        num_inputs = len(circuit.input_names)
+        for s in range(engine._STATE_SLOTS + 4):
+            engine.prepared_values(random_patterns(num_inputs, 8, seed=30 + s))
+        assert len(engine._state_cache) == engine._STATE_SLOTS

@@ -1,0 +1,114 @@
+"""Artifact-store round-trips, invalidation and robustness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import fingerprint as fp
+from repro.runtime.store import ArtifactStore, default_cache_dir
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "cache")
+
+
+KEY = fp.combine("test", 1, "payload")
+
+
+class TestRoundTrip:
+    def test_arrays_exact(self, store):
+        arrays = {
+            "f64": np.array([0.1, -1e300, 2.5e-308, np.inf]),
+            "u64": np.array([0, 2**63, 2**64 - 1], dtype=np.uint64),
+            "bools": np.array([[True, False], [False, True]]),
+            "u8": np.arange(16, dtype=np.uint8).reshape(4, 4),
+            "empty": np.empty((0, 3), dtype=np.int32),
+        }
+        store.put("test", KEY, arrays, {})
+        loaded = store.get("test", KEY)
+        assert set(loaded.arrays) == set(arrays)
+        for name, expected in arrays.items():
+            got = loaded.arrays[name]
+            assert got.dtype == expected.dtype
+            assert got.shape == expected.shape
+            assert np.array_equal(got, expected)
+
+    def test_meta_exact(self, store):
+        meta = {
+            "pi": 3.141592653589793,
+            "tiny": 5e-324,
+            "n": 2**40,
+            "ids": ["sa0:g1", "sa1:g2"],
+            "nested": {"flag": True, "value": None},
+        }
+        store.put("test", KEY, {"x": np.zeros(1)}, meta)
+        assert store.get("test", KEY).meta == meta
+
+    def test_miss_returns_none_and_counts(self, store):
+        assert store.get("test", KEY) is None
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+
+    def test_fetch_memoizes(self, store):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"x": np.arange(3)}, {"k": 1}
+
+        first, hit1 = store.fetch("test", KEY, build)
+        second, hit2 = store.fetch("test", KEY, build)
+        assert (hit1, hit2) == (False, True)
+        assert len(calls) == 1
+        assert np.array_equal(first.arrays["x"], second.arrays["x"])
+        assert first.meta == second.meta
+
+
+class TestInvalidation:
+    def test_different_fingerprint_misses(self, store):
+        store.put("test", KEY, {"x": np.arange(3)}, {})
+        other = fp.combine("test", 1, "other-payload")
+        assert store.get("test", other) is None
+
+    def test_schema_version_moves_key(self):
+        assert fp.combine("separation", 1, "c") != fp.combine("separation", 2, "c")
+
+    def test_kinds_are_disjoint(self, store):
+        store.put("a", KEY, {"x": np.arange(3)}, {})
+        assert store.get("b", KEY) is None
+
+
+class TestRobustness:
+    def test_corrupt_file_is_a_miss_and_removed(self, store):
+        store.put("test", KEY, {"x": np.arange(3)}, {})
+        path = store.path_for("test", KEY)
+        path.write_bytes(b"not a zip file")
+        assert store.get("test", KEY) is None
+        assert not path.exists()
+
+    def test_reserved_array_name_rejected(self, store):
+        with pytest.raises(ValueError, match="reserved"):
+            store.put("test", KEY, {"__meta__": np.zeros(1)}, {})
+
+    def test_non_hex_key_rejected(self, store):
+        with pytest.raises(ValueError, match="hex digest"):
+            store.path_for("test", "../escape")
+
+    def test_no_pickles_accepted(self, store):
+        # The store never writes pickles (and loads with
+        # allow_pickle=False), so object arrays are rejected up front.
+        with pytest.raises(ValueError, match="object dtype"):
+            store.put("test", KEY, {"x": np.array([object()])}, {})
+
+
+class TestEnvironment:
+    def test_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+        assert ArtifactStore().root == tmp_path / "envcache"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro-part-iddq"
