@@ -19,15 +19,25 @@ sweep (64 proposals).  State construction happens outside the timed
 region — the step cost is what optimisers pay per iteration.
 
 Floors: the block-move operator carries the refactor's headline ≥5x.
-The blended KL pass and ES generation land lower (~3.5x / ~2.5x
-observed) because this PR's substrate satellites (membership/boundary
-caches, set-based neighbour queries) made the reference leg faster as
-well, and the exact critical-path retiming floor — two ~400-gate
-modules re-degraded per candidate at the natural K — is shared by both
-paths.  The annealing sweep is recorded without a floor: its legacy
-reject path (reverse move, no clone) was already clone-free, so the
-two legs are near parity.  Results land in ``BENCH_optimize.json`` via
-the bench-smoke job.
+The blended KL pass and ES generation land lower (~3.1-3.4x / ~2.3-2.7x
+measured across interleaved A/B runs) because this PR's substrate
+satellites (membership/boundary caches, set-based neighbour queries)
+made the reference leg faster as well, and the exact critical-path
+retiming floor — two ~400-gate modules re-degraded per candidate at
+the natural K — is shared by both paths.  A planned raise of the KL/ES
+floors to 4x was measured unattainable and *not* adopted: the legacy
+legs here are clone-dominated, and both legs' per-candidate cost
+bottoms out at one full retiming sweep because ``kl``/``annealing``
+score swaps through per-candidate ``trial_cost`` (production
+behaviour).  The block-structured timing engine's batched-retime win
+lands in ``trial_moves``/``greedy_refine`` instead and is floored
+where it is measurable in isolation — ``bench_timing.py`` asserts ≥3x
+on the natural-K trial retime (4.4-7.9x measured) and ≥2x on stacked
+vs sequential candidate scoring (6.0-8.7x measured).  The annealing
+sweep is recorded without a floor: its legacy reject path (reverse
+move, no clone) was already clone-free, so the two legs are near
+parity.  Results land in ``BENCH_optimize.json`` via the bench-smoke
+job.
 """
 
 import random

@@ -46,6 +46,11 @@ class SeparationMatrix:
     simulation schedule.
     """
 
+    #: Lazily built float64 copy of :attr:`matrix` feeding the BLAS
+    #: matmul in :meth:`sums_by_group` (class-level default covers both
+    #: constructors, including :meth:`from_matrix`).
+    _matrix_f64: np.ndarray | None = None
+
     def __init__(
         self,
         circuit: Circuit,
@@ -149,22 +154,30 @@ class SeparationMatrix:
         ``[0, num_groups)`` (negative = excluded).  Returns an int64
         ``(len(gates), num_groups)`` matrix — the batched form of
         :meth:`sum_to_group`, exact in any order (integer distances).
-        One argsort + one ``add.reduceat`` scores every (gate, group)
-        pair of a whole candidate set at once.
+        One BLAS matmul against a group-indicator matrix scores every
+        (gate, group) pair of a whole candidate set at once: distances
+        are integers ≤ 255 and row sums stay far below 2**53, so the
+        float64 dot product is exact regardless of summation order.
         """
         gates = np.asarray(gates, dtype=np.int64)
         out = np.zeros((len(gates), num_groups), dtype=np.int64)
         if gates.size == 0:
             return out
-        order = np.argsort(group_of_gate, kind="stable")
-        groups_sorted = np.asarray(group_of_gate)[order]
-        keep = groups_sorted >= 0
-        order, groups_sorted = order[keep], groups_sorted[keep]
-        if order.size == 0:
+        group_of_gate = np.asarray(group_of_gate, dtype=np.int64)
+        valid = np.nonzero(group_of_gate >= 0)[0]
+        if valid.size == 0:
             return out
-        present, first = np.unique(groups_sorted, return_index=True)
-        rows = self.matrix[gates][:, order].astype(np.int64)
-        out[:, present] = np.add.reduceat(rows, first, axis=1)
+        indicator = np.zeros((self.matrix.shape[0], num_groups), dtype=np.float64)
+        indicator[valid, group_of_gate[valid]] = 1.0
+        if self._matrix_f64 is None:
+            # Lazy 8x-size float64 copy: only optimisers hammering the
+            # batched gain kernel pay for it, one-shot evaluations don't.
+            self._matrix_f64 = self.matrix.astype(np.float64)
+        # One dgemm over the whole matrix beats gathering float64 rows
+        # for a large (possibly duplicated) candidate set; the row
+        # select afterwards is tiny.  Exact-integer float sums; the
+        # int64 assignment is lossless.
+        out[:] = (self._matrix_f64 @ indicator)[gates]
         return out
 
 

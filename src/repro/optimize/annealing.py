@@ -5,6 +5,11 @@ applicable to PART-IDDQ before choosing the evolution strategy.  This
 implementation uses the same neighbourhood (move one boundary gate into
 a connected module) and the same penalised cost, so the ablation bench
 compares search strategies, not problem encodings.
+
+Proposals are scored one at a time through ``trial_cost`` — the
+accept/reject decision at temperature T is inherently sequential — so
+each proposal pays one block-structured incremental retime
+(DESIGN §8.4) and an exact-undo rollback on reject.
 """
 
 from __future__ import annotations

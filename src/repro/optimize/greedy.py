@@ -4,6 +4,13 @@ A deterministic hill-climber over the same neighbourhood as the
 evolution strategy's mutation.  Useful both as a baseline (it gets stuck
 exactly where the paper says single-minimum methods do) and as a cheap
 polish pass after any other optimiser.
+
+Each pass scores its entire move neighbourhood through one
+:meth:`~repro.partition.state.EvaluationState.trial_moves` call, so the
+whole scan — separation sums, profile deltas *and* the exact D_BIC
+retiming of every candidate — runs as batched array kernels (the delay
+term is one :meth:`~repro.analysis.timing.IncrementalTiming.retime_batch`
+stacked sweep, DESIGN §8.3-8.4); no per-candidate Python work remains.
 """
 
 from __future__ import annotations

@@ -13,6 +13,13 @@ polish pass when balance must be held.  Boundary-gate and
 neighbour-module queries run on the compiled graph's CSR gate adjacency
 (via :class:`~repro.partition.partition.Partition`), so candidate
 sampling stays cheap even on the Table 1 circuits.
+
+Swaps are scored one at a time through ``trial_cost`` — sequential
+sampling with locking is load-bearing for KL's semantics, so each
+candidate pays one block-structured retime (DESIGN §8.4) rather than
+joining a batched ``retime_batch`` sweep.  Scoring a whole unlocked
+pool up front is the known next lever (see ROADMAP) but changes which
+swaps get sampled, so it needs its own ablation.
 """
 
 from __future__ import annotations

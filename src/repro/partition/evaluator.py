@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.analysis.current import GateElectricals
 from repro.analysis.separation import SeparationMatrix
-from repro.analysis.timing import LevelizedTiming
+from repro.analysis.timing import levelized_timing
 from repro.analysis.transition_times import TransitionTimes
 from repro.config import CostWeights
 from repro.library.default_lib import generic_library, generic_technology
@@ -162,7 +162,9 @@ class PartitionEvaluator:
             self.separation = SeparationMatrix(
                 circuit, self.technology.separation_cap, backend=backend
             )
-        self.timing = LevelizedTiming(circuit)
+        # Cached on the compiled graph: evaluators of the same circuit
+        # share one level structure and its incremental engine.
+        self.timing = levelized_timing(circuit)
         self.nominal_delay_ns = self.timing.critical_path_delay(self.electricals.delay_ns)
         self.ones = np.ones(len(circuit.gate_names), dtype=np.float64)
 

@@ -55,6 +55,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 __all__ = ["ModuleStats", "EvaluationState", "ReferenceEvaluationState"]
 
 
+def _profile_max_rows(times, gate_ids, act_rows):
+    """Per (candidate row, gate): the max of that candidate's activity
+    profile over the gate's own transition times — the batched form of
+    :meth:`TransitionTimes.max_in_profile` (segments are non-empty)."""
+    slots, counts = csr_gather(times.times_indptr, times.times_flat, gate_ids)
+    starts = np.cumsum(counts) - counts
+    return np.maximum.reduceat(act_rows[:, slots], starts, axis=1)
+
+
+def _profile_max_diag(times, gates, act_rows):
+    """Row ``i``'s activity-profile max over gate ``gates[i]``'s own
+    transition times — one value per candidate row."""
+    slots, counts = csr_gather(times.times_indptr, times.times_flat, gates)
+    row_rep = np.repeat(np.arange(len(gates), dtype=np.int64), counts)
+    starts = np.cumsum(counts) - counts
+    return np.maximum.reduceat(act_rows[row_rep, slots], starts)
+
+
 class ModuleStats:
     """Cached per-module quantities (mutable, copied with the state)."""
 
@@ -435,6 +453,7 @@ class EvaluationState(_StateProtocol):
         self.settle_ns = np.zeros(s, dtype=np.float64)
         self.delay_degraded = ctx.electricals.delay_ns.copy()
         self._arrival: np.ndarray | None = None
+        self._block_max: np.ndarray | None = None
         self._dbic = 0.0
         self._dirty: set[int] = set(modules)
         self._journal: list | None = None
@@ -486,6 +505,7 @@ class EvaluationState(_StateProtocol):
         ):
             setattr(clone, name, getattr(self, name).copy())
         clone._arrival = None if self._arrival is None else self._arrival.copy()
+        clone._block_max = None if self._block_max is None else self._block_max.copy()
         clone._dbic = self._dbic
         clone._dirty = set(self._dirty)
         clone._journal = None
@@ -585,6 +605,7 @@ class EvaluationState(_StateProtocol):
             # (against trial-time delays); drop it so the next refresh
             # rebuilds from the restored delays.
             self._arrival = None
+            self._block_max = None
         del self._move_log[log_len:]
 
     # ------------------------------------------------------------------ moves
@@ -911,12 +932,23 @@ class EvaluationState(_StateProtocol):
             self._dirty.clear()
         else:
             changed = []
+        incremental = ctx.timing.incremental
         if self._arrival is None:
-            self._arrival = ctx.timing.incremental.full_arrival(self.delay_degraded)
-            self._dbic = float(self._arrival.max()) if self._arrival.size else 0.0
+            self._arrival = incremental.full_arrival(self.delay_degraded)
+            self._block_max = incremental.block_maxima(self._arrival)
+            self._dbic = float(self._block_max.max()) if self._block_max.size else 0.0
         elif changed:
-            touched, old = ctx.timing.incremental.update(
-                self._arrival, self.delay_degraded, np.concatenate(changed)
+            # Block maxima are *not* maintained through per-trial
+            # updates — only `trial_moves` consumes them, and it runs
+            # outside trials, so they are rebuilt lazily there.  Marking
+            # them stale here keeps rollback trivial (the marker is
+            # valid in every timeline) and spares the sequential
+            # trial paths (kl/annealing) the per-update upkeep.
+            self._block_max = None
+            touched, old = incremental.update(
+                self._arrival,
+                self.delay_degraded,
+                np.concatenate(changed),
             )
             if self._journal is not None and touched.size:
                 self._journal.append(("arr", self._arrival, touched, old))
@@ -1018,11 +1050,18 @@ class EvaluationState(_StateProtocol):
         Stage 1 scores every non-delay term for all candidates at once:
         batched separation sums (:meth:`SeparationMatrix.sums_by_group`),
         scatter-added profile deltas, vectorised sensor sizing and the
-        array-form constraint check.  Stage 2 loops only for the
-        ``c2``/``c4`` delay term, re-degrading the two touched modules'
-        gates and updating the critical path through their fanout cones
-        (exact scratch-restore afterwards).  The state is left
-        untouched.
+        array-form constraint check.  Stage 2 scores the ``c2``/``c4``
+        delay term batched per (source, target) module pair: all
+        candidates of a pair share the same two-module invalidation
+        frontier, so their degraded-delay overrides are built as one
+        ``(C, gates)`` matrix (the degradation delta is elementwise, so
+        the moved gate's row entry is simply overwritten with its
+        target-side value) and re-timed in one stacked block-cone sweep
+        (:meth:`IncrementalTiming.retime_batch`).  The state is never
+        mutated.  Degradation models that don't advertise numpy
+        broadcasting (``broadcasts = True``) fall back to the sequential
+        per-candidate update/restore loop — same results, one candidate
+        at a time.
         """
         gates = np.asarray(gates, dtype=np.int64)
         count = len(gates)
@@ -1113,13 +1152,151 @@ class EvaluationState(_StateProtocol):
             candidate_matrix(self.max_current_ma, src_max, tgt_max),
         )
 
-        # --- stage 2: the delay term, cone-restricted per candidate.
+        # --- stage 2: the delay term, batched per (source, target) pair.
         d_bic = np.empty(count, dtype=np.float64)
+        if getattr(ctx.degradation, "broadcasts", False):
+            arrival = self._arrival
+            if self._block_max is None:
+                # Stale since the last committed retime (see _refresh);
+                # rebuilt once per neighbourhood scan, amortised over
+                # every candidate below.
+                self._block_max = ctx.timing.incremental.block_maxima(arrival)
+            block_max = self._block_max
+            delays = self.delay_degraded
+            nominal = electricals.delay_ns
+            incremental = ctx.timing.incremental
+            cg_ff = electricals.output_cap_ff
+            rg_ohm = electricals.pulldown_res_ohm
+            time_resolved = ctx.time_resolved_degradation
+            if not time_resolved:
+                # Matches the sequential path's ``float(act_row.max())``.
+                n_src = src_act.max(axis=1)
+                n_tgt = tgt_act.max(axis=1)
+
+            def side_overrides(members, n_rows, rs_rows, cs_rows):
+                """Degraded delays of ``members`` for each candidate row —
+                the elementwise delta broadcast over (candidate, gate)."""
+                delta = ctx.degradation.delta(
+                    n_rows,
+                    rs_rows[:, None],
+                    cs_rows[:, None],
+                    cg_ff[members][None, :],
+                    rg_ohm[members][None, :],
+                )
+                return nominal[members][None, :] * (1.0 + delta)
+
+            keys = src_modules * np.int64(partition._next_id) + targets
+            order = np.argsort(keys, kind="stable")
+            boundaries = np.nonzero(np.diff(keys[order]))[0] + 1
+            for group in np.split(order, boundaries):
+                src_members = self._members[int(src_modules[group[0]])]
+                tgt_members = self._members[int(targets[group[0]])]
+                group_dying = bool(dying[group[0]])
+                cols = np.concatenate([src_members, tgt_members])
+                n_s = src_members.size
+                for lo in range(0, len(group), 192):
+                    chunk = group[lo : lo + 192]
+                    moved = gates[chunk]
+                    over = np.empty((chunk.size, cols.size), dtype=np.float64)
+                    if group_dying:
+                        # No source side remains; the moved gate's entry
+                        # is overwritten with its target-side value below.
+                        over[:, :n_s] = delays[src_members]
+                    else:
+                        n_rows = (
+                            _profile_max_rows(times, src_members, src_act[chunk])
+                            if time_resolved
+                            else n_src[chunk][:, None]
+                        )
+                        over[:, :n_s] = side_overrides(
+                            src_members, n_rows, src_rs[chunk], src_cs[chunk]
+                        )
+                    n_rows = (
+                        _profile_max_rows(times, tgt_members, tgt_act[chunk])
+                        if time_resolved
+                        else n_tgt[chunk][:, None]
+                    )
+                    over[:, n_s:] = side_overrides(
+                        tgt_members, n_rows, tgt_rs[chunk], tgt_cs[chunk]
+                    )
+                    # The moved gate joins the target module: same
+                    # elementwise delta with the target side's
+                    # parameters and the gate's own load.
+                    n_moved = (
+                        _profile_max_diag(times, moved, tgt_act[chunk])
+                        if time_resolved
+                        else n_tgt[chunk]
+                    )
+                    delta_moved = ctx.degradation.delta(
+                        n_moved,
+                        tgt_rs[chunk],
+                        tgt_cs[chunk],
+                        cg_ff[moved],
+                        rg_ohm[moved],
+                    )
+                    over[
+                        np.arange(chunk.size), np.searchsorted(src_members, moved)
+                    ] = nominal[moved] * (1.0 + delta_moved)
+                    d_bic[chunk] = incremental.retime_batch(
+                        arrival, delays, cols, over, block_max=block_max
+                    )
+        else:
+            self._delay_term_loop(
+                d_bic,
+                gates,
+                targets,
+                src_modules,
+                dying,
+                src_act,
+                tgt_act,
+                src_rs,
+                src_cs,
+                tgt_rs,
+                tgt_cs,
+            )
+
+        d_nom = ctx.nominal_delay_ns
+        weights = ctx.weights
+        c1 = np.log1p(np.maximum(total_area, 0.0))
+        c2 = (d_bic - d_nom) / d_nom
+        c3 = np.log1p(np.maximum(total_sep, 0.0))
+        c4 = (d_bic + settle - d_nom) / d_nom
+        c5 = (partition.num_modules - dying).astype(np.float64)
+        costs = (
+            weights.area * c1
+            + weights.delay * c2
+            + weights.separation * c3
+            + weights.test_time * c4
+            + weights.modules * c5
+        )
+        return costs + np.where(feasible, 0.0, penalty * (1.0 + violation))
+
+    def _delay_term_loop(
+        self,
+        d_bic,
+        gates,
+        targets,
+        src_modules,
+        dying,
+        src_act,
+        tgt_act,
+        src_rs,
+        src_cs,
+        tgt_rs,
+        tgt_cs,
+    ) -> None:
+        """Sequential per-candidate delay term — the fallback for
+        degradation models without broadcasting: re-degrade the two
+        touched modules, cone-update the critical path, restore the
+        scratch exactly."""
+        ctx = self.ctx
+        times = ctx.times
+        electricals = ctx.electricals
         arrival = self._arrival
         delays = self.delay_degraded
         nominal = electricals.delay_ns
         incremental = ctx.timing.incremental
-        for i in range(count):
+        for i in range(len(gates)):
             gate = int(gates[i])
             seeds: list[np.ndarray] = []
             saved: list[tuple[np.ndarray, np.ndarray]] = []
@@ -1163,22 +1340,6 @@ class EvaluationState(_StateProtocol):
                     delays[idx] = old_delays
             else:
                 d_bic[i] = self._dbic
-
-        d_nom = ctx.nominal_delay_ns
-        weights = ctx.weights
-        c1 = np.log1p(np.maximum(total_area, 0.0))
-        c2 = (d_bic - d_nom) / d_nom
-        c3 = np.log1p(np.maximum(total_sep, 0.0))
-        c4 = (d_bic + settle - d_nom) / d_nom
-        c5 = (partition.num_modules - dying).astype(np.float64)
-        costs = (
-            weights.area * c1
-            + weights.delay * c2
-            + weights.separation * c3
-            + weights.test_time * c4
-            + weights.modules * c5
-        )
-        return costs + np.where(feasible, 0.0, penalty * (1.0 + violation))
 
     # ------------------------------------------------------------- validation
     def consistency_check(self, atol: float = 1e-6) -> None:
@@ -1236,3 +1397,9 @@ class EvaluationState(_StateProtocol):
                 raise PartitionError("maintained arrival times drifted")
             if self._dbic != (float(full.max()) if full.size else 0.0):
                 raise PartitionError("maintained critical path drifted")
+            # ``None`` is the legal stale marker (lazily rebuilt by
+            # trial_moves); a materialised vector must match exactly.
+            if self._block_max is not None and not np.array_equal(
+                self._block_max, ctx.timing.incremental.block_maxima(full)
+            ):
+                raise PartitionError("maintained block maxima drifted")

@@ -54,6 +54,11 @@ class DelayDegradationModel(Protocol):
 class FirstOrderDegradation:
     """``δ = n · Rs / Rg`` — series-resistance-only model."""
 
+    #: Pure elementwise numpy ops: safe to call with broadcast-shaped
+    #: arguments (e.g. ``(C, 1)`` candidate params against ``(1, G)``
+    #: gate vectors).  The batched gain kernel keys on this flag.
+    broadcasts = True
+
     def delta(self, n, rs_ohm, cs_ff, cg_ff, rg_ohm):
         n = np.asarray(n, dtype=np.float64)
         return n * rs_ohm / np.asarray(rg_ohm, dtype=np.float64)
@@ -68,6 +73,9 @@ class SecondOrderDegradation:
     capacitance to the rail), which softens the per-gate impact — the
     behaviour the paper's second-order network captures.
     """
+
+    #: See :class:`FirstOrderDegradation.broadcasts`.
+    broadcasts = True
 
     def delta(self, n, rs_ohm, cs_ff, cg_ff, rg_ohm):
         n = np.asarray(n, dtype=np.float64)
