@@ -23,7 +23,10 @@ dict (stored inside the npz as one JSON string), written atomically
 harmless — last rename wins with identical bytes.  Round-trips are
 **exact**: arrays keep dtype/shape/bytes, floats survive through JSON's
 shortest-repr encoding.  A corrupt or truncated file is treated as a
-miss and removed.
+miss and moved aside to ``<root>/quarantine/<kind>/`` under a
+collision-safe name — never unlinked, so the bad bytes stay available
+for a postmortem and a reader that lost the atomic-replace race cannot
+delete a concurrently re-written good artifact.
 """
 
 from __future__ import annotations
@@ -72,6 +75,7 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    quarantined: int = 0
     by_kind: dict = field(default_factory=dict)
 
     def _bump(self, kind: str, slot: str) -> None:
@@ -93,10 +97,39 @@ class ArtifactStore:
             raise ValueError(f"artifact key must be a hex digest, got {key!r}")
         return self.root / _LAYOUT / kind / key[:2] / f"{key}.npz"
 
+    # -------------------------------------------------------------- quarantine
+    def quarantine_dir(self, kind: str) -> Path:
+        return self.root / "quarantine" / kind
+
+    def _quarantine(self, path: Path, kind: str) -> Path | None:
+        """Move a corrupt file to ``<root>/quarantine/<kind>/`` under a
+        collision-safe name; returns the new path (``None`` if the file
+        vanished or the move failed — quarantining is best-effort).
+
+        Moving (not unlinking) keeps the bad bytes for a postmortem and
+        closes the unlink race: a reader that opened a file mid
+        ``os.replace`` must not *delete* the path, which by now may hold
+        a freshly re-written good artifact — at worst that good file is
+        set aside and rebuilt, never destroyed.
+        """
+        try:
+            qdir = self.quarantine_dir(kind)
+            qdir.mkdir(parents=True, exist_ok=True)
+            for n in range(10_000):
+                target = qdir / f"{path.stem}.{n}{path.suffix}"
+                if target.exists():
+                    continue
+                path.rename(target)
+                self.stats.quarantined += 1
+                return target
+        except OSError:
+            pass
+        return None
+
     # ------------------------------------------------------------------ access
     def get(self, kind: str, key: str) -> Artifact | None:
         """Load an artifact, or ``None`` on miss (corrupt files count as
-        misses and are removed)."""
+        misses and are quarantined)."""
         path = self.path_for(kind, key)
         if not path.is_file():
             self.stats._bump(kind, "misses")
@@ -109,8 +142,8 @@ class ArtifactStore:
                 meta = json.loads(str(payload[_META_KEY]))
         except (OSError, ValueError, KeyError, json.JSONDecodeError,
                 zipfile.BadZipFile):
-            # A half-written or foreign file: drop it and rebuild.
-            path.unlink(missing_ok=True)
+            # A half-written or foreign file: set it aside and rebuild.
+            self._quarantine(path, kind)
             self.stats._bump(kind, "misses")
             return None
         self.stats._bump(kind, "hits")

@@ -81,12 +81,31 @@ class TestInvalidation:
 
 
 class TestRobustness:
-    def test_corrupt_file_is_a_miss_and_removed(self, store):
+    def test_corrupt_file_is_a_miss_and_quarantined(self, store):
         store.put("test", KEY, {"x": np.arange(3)}, {})
         path = store.path_for("test", KEY)
         path.write_bytes(b"not a zip file")
         assert store.get("test", KEY) is None
+        # Moved aside (postmortem-able), never unlinked: a reader that
+        # lost the atomic-replace race cannot delete a good rewrite.
         assert not path.exists()
+        quarantined = sorted(store.quarantine_dir("test").glob("*.npz"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == b"not a zip file"
+        assert store.stats.quarantined == 1
+
+    def test_quarantine_names_are_collision_safe(self, store):
+        for payload in (b"corrupt one", b"corrupt two"):
+            store.put("test", KEY, {"x": np.arange(3)}, {})
+            store.path_for("test", KEY).write_bytes(payload)
+            assert store.get("test", KEY) is None
+        quarantined = sorted(store.quarantine_dir("test").glob("*.npz"))
+        assert len(quarantined) == 2
+        assert {p.read_bytes() for p in quarantined} == {
+            b"corrupt one",
+            b"corrupt two",
+        }
+        assert store.stats.quarantined == 2
 
     def test_reserved_array_name_rejected(self, store):
         with pytest.raises(ValueError, match="reserved"):
