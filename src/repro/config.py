@@ -132,26 +132,41 @@ class RuntimeConfig:
 
     Attributes:
         jobs: process-pool worker count; ``None`` defers to the
-            ``REPRO_JOBS`` environment variable and then serial (1).
-            Resolved lazily by :func:`repro.runtime.executor.resolve_jobs`
-            so this module stays free of runtime imports.
+            ``REPRO_JOBS`` environment variable and then serial (1);
+            ``0`` means "all cores" (``os.cpu_count()``).  Resolved
+            lazily by :func:`repro.runtime.executor.resolve_jobs` so
+            this module stays free of runtime imports.
         cache_dir: artifact-store root; ``None`` defers to
             ``REPRO_CACHE_DIR`` and then ``~/.cache/repro-part-iddq``.
         defect_parallel: opt into the defect-parallel targeted ATPG
             phase (independent per-defect RNG streams — deterministic
             under a fixed seed, but a different walk than the serial
             reference; see DESIGN.md §9).
+        task_timeout: per-task deadline in seconds for pool workers;
+            ``None`` defers to ``REPRO_TASK_TIMEOUT`` and then no
+            deadline.  A task past its deadline is re-dispatched while
+            retry budget remains, then raises ``TaskTimeoutError``
+            (DESIGN.md §10).
+        task_retries: bounded per-task retry budget; ``None`` defers to
+            ``REPRO_TASK_RETRIES`` and then 0 (a task bug surfaces
+            once).  Retries back off deterministically (no jitter).
     """
 
     jobs: int | None = None
     cache_dir: str | None = None
     defect_parallel: bool = False
+    task_timeout: float | None = None
+    task_retries: int | None = None
 
     def __post_init__(self) -> None:
-        if self.jobs is not None and self.jobs < 1:
-            raise OptimizationError("runtime jobs must be >= 1")
+        if self.jobs is not None and self.jobs < 0:
+            raise OptimizationError("runtime jobs must be >= 0 (0 = all cores)")
         if self.cache_dir is not None and not self.cache_dir:
             raise OptimizationError("cache_dir must be a non-empty path or None")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise OptimizationError("task_timeout must be > 0 seconds")
+        if self.task_retries is not None and self.task_retries < 0:
+            raise OptimizationError("task_retries must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,10 @@ __all__ = [
     "OptimizationError",
     "FaultSimError",
     "ExperimentError",
+    "ExecutorError",
+    "TaskError",
+    "TaskTimeoutError",
+    "FaultInjectionError",
 ]
 
 
@@ -52,3 +56,22 @@ class FaultSimError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment harness failure (unknown experiment id, bad config)."""
+
+
+class ExecutorError(ReproError):
+    """Process-pool executor failure that survived every recovery path."""
+
+
+class TaskError(ExecutorError):
+    """A task raised an exception that could not itself be pickled back
+    to the parent; the message carries the original type, message and
+    formatted traceback instead."""
+
+
+class TaskTimeoutError(ExecutorError):
+    """A task exceeded its configured deadline on every allowed attempt."""
+
+
+class FaultInjectionError(ReproError):
+    """A deterministically injected transient failure (see
+    :mod:`repro.runtime.faults`), or a malformed fault-plan spec."""

@@ -7,18 +7,24 @@ Usage::
     python -m repro.experiments all [--full]
     python -m repro.experiments campaign [--circuits c432,c880]
         [--stages separation,stuck-at,atpg,optimize] [--jobs N]
-        [--cache-dir DIR] [--out manifest.json] [--seed S] [--full]
+        [--cache-dir DIR] [--out manifest.json] [--resume MANIFEST]
+        [--task-timeout SECONDS] [--task-retries N] [--seed S] [--full]
 
 ``all`` continues past a failing experiment, prints a per-experiment
 pass/fail summary and exits non-zero if any failed.  ``campaign`` runs
 pipeline stages x circuits through the artifact cache and process pool
 and writes a JSON manifest of artifacts, cache hits and timings
-(see :mod:`repro.runtime.campaign`).
+(see :mod:`repro.runtime.campaign`).  With ``--out`` the campaign also
+journals entries to ``<out>.partial.jsonl`` as they complete;
+``--resume`` takes a previous manifest (or that journal) and skips
+stages already recorded as succeeded.  A campaign with failed stages
+exits 1 (the manifest still records every entry).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import traceback
 
@@ -54,9 +60,14 @@ def _run_campaign(args) -> int:
         CampaignConfig,
         render_manifest,
         run_campaign,
-        save_manifest,
     )
 
+    # Executor knobs travel by environment so they reach pool workers
+    # spawned anywhere below the campaign (same channel REPRO_JOBS uses).
+    if args.task_timeout is not None:
+        os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
+    if args.task_retries is not None:
+        os.environ["REPRO_TASK_RETRIES"] = str(args.task_retries)
     config = CampaignConfig(
         circuits=tuple(c.strip() for c in args.circuits.split(",") if c.strip()),
         stages=tuple(s.strip() for s in args.stages.split(",") if s.strip()),
@@ -64,12 +75,12 @@ def _run_campaign(args) -> int:
         cache_dir=args.cache_dir,
         seed=args.seed,
         quick=not args.full,
+        out=args.out,
+        resume=args.resume,
     )
     manifest = run_campaign(config)
-    if args.out:
-        save_manifest(manifest, args.out)
     print(render_manifest(manifest))
-    return 0
+    return 1 if manifest["totals"].get("failed") else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -111,7 +122,34 @@ def main(argv: list[str] | None = None) -> int:
         help="artifact store root (default: $REPRO_CACHE_DIR, then "
         "~/.cache/repro-part-iddq)",
     )
-    campaign.add_argument("--out", default=None, help="manifest JSON path")
+    campaign.add_argument(
+        "--out",
+        default=None,
+        help="manifest JSON path (also enables the <out>.partial.jsonl "
+        "journal written as stages complete)",
+    )
+    campaign.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help="previous manifest (or .partial.jsonl journal) whose "
+        "succeeded entries are skipped",
+    )
+    campaign.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline for pool workers "
+        "(default: $REPRO_TASK_TIMEOUT, then none)",
+    )
+    campaign.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-task retry budget (default: $REPRO_TASK_RETRIES, then 0)",
+    )
     campaign.add_argument("--seed", type=int, default=1995)
     campaign.add_argument("--full", action="store_true", help="full (slow) budgets")
 

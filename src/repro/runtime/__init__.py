@@ -11,17 +11,31 @@ Three pieces turn the per-stage kernels into a production pipeline:
 * :mod:`~repro.runtime.executor` — a deterministic shard/submit/gather
   process pool (worker count via ``REPRO_JOBS``, serial in-process
   fallback) with ordered gather, so every parallel build is
-  result-identical to its serial reference.
+  result-identical to its serial reference — including through worker
+  crashes, hangs and transient task errors (per-task timeouts
+  ``REPRO_TASK_TIMEOUT``, bounded retries ``REPRO_TASK_RETRIES``,
+  partial-result recovery; DESIGN.md §10).
 * :mod:`~repro.runtime.campaign` — the ``python -m repro.experiments
   campaign`` runner: stages x circuits through cache + pool, emitting a
-  JSON manifest of artifacts, cache hits and timings.
+  JSON manifest of artifacts, cache hits and timings, with per-stage
+  failure quarantine, an incremental ``.partial.jsonl`` journal and
+  ``--resume``.
+* :mod:`~repro.runtime.faults` — the deterministic fault-injection
+  harness (``REPRO_FAULT_PLAN``) that drives every recovery path above
+  in tests and CI.
 
 :mod:`~repro.runtime.parallel` holds the domain drivers (sharded
 stuck-at detection, defect-parallel IDDQ ATPG, multi-seed portfolios)
 and :mod:`~repro.runtime.artifacts` the typed cache recipes.
 """
 
-from repro.runtime.executor import Executor, resolve_jobs
+from repro.runtime.executor import (
+    Executor,
+    resolve_jobs,
+    resolve_task_retries,
+    resolve_task_timeout,
+)
+from repro.runtime.faults import FaultPlan, InjectedKill
 from repro.runtime.fingerprint import (
     combine,
     fingerprint_circuit,
@@ -36,6 +50,8 @@ __all__ = [
     "Artifact",
     "ArtifactStore",
     "Executor",
+    "FaultPlan",
+    "InjectedKill",
     "combine",
     "default_cache_dir",
     "fingerprint_circuit",
@@ -44,4 +60,6 @@ __all__ = [
     "fingerprint_technology",
     "fingerprint_value",
     "resolve_jobs",
+    "resolve_task_retries",
+    "resolve_task_timeout",
 ]

@@ -20,7 +20,11 @@ count (the defect-parallel ATPG differs from the *serial-reference*
 walk, which is why the mode flag — not the job count — is keyed).
 
 All helpers return ``(value, hit)`` so callers (the campaign manifest,
-the benchmarks) can report cache effectiveness.
+the benchmarks) can report cache effectiveness.  Failure handling is
+inherited from :meth:`~repro.runtime.store.ArtifactStore.fetch`: a
+corrupt cached file is quarantined and rebuilt, and a cache directory
+that cannot be written degrades to compute-without-cache with a warning
+(DESIGN.md §10) — helpers never fail because of the cache.
 """
 
 from __future__ import annotations

@@ -10,13 +10,28 @@ served from cache, wall-clock seconds and stage-specific metadata —
 the machine-readable receipt the benchmarks and CI assert against
 (e.g. "a second run serves separation/detection/test-set artifacts from
 the cache").
+
+Failure model (DESIGN.md §10): each (circuit, stage) runs inside its
+own try/except — one failure quarantines that entry (``"status":
+"failed"`` with the error string in the manifest) while every other
+entry, including downstream stages of other circuits, still runs.
+With an output path configured, entries are journaled incrementally to
+``<manifest>.partial.jsonl`` the moment each stage completes, so a
+killed campaign leaves a durable record; ``resume=<manifest-or-journal>``
+skips entries already recorded as succeeded (copied into the new
+manifest with ``"resumed": true``) and re-executes only the rest —
+restarted on the same cache directory, the campaign completes from
+where it died with bit-identical artifacts.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
+import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -29,10 +44,12 @@ from repro.runtime.artifacts import (
     cached_separation_matrix,
 )
 from repro.runtime.executor import resolve_jobs
+from repro.runtime.faults import FaultPlan, InjectedKill
 from repro.runtime.store import ArtifactStore
 
 __all__ = [
     "CampaignConfig",
+    "load_resume_entries",
     "render_manifest",
     "run_campaign",
     "save_manifest",
@@ -43,12 +60,20 @@ __all__ = [
 #: optimiser and ATPG stages consume the cached separation matrix).
 STAGES: tuple[str, ...] = ("separation", "stuck-at", "atpg", "optimize")
 
-MANIFEST_SCHEMA = 1
+#: Schema 2 adds per-entry "status" (ok | failed), optional "error" /
+#: "resumed" fields and the failed/resumed totals.
+MANIFEST_SCHEMA = 2
 
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """One campaign: circuits x stages, budgets, cache and pool knobs."""
+    """One campaign: circuits x stages, budgets, cache and pool knobs.
+
+    ``out`` is the manifest path; setting it enables the incremental
+    ``<out>.partial.jsonl`` journal and the atomic manifest write at
+    the end.  ``resume`` names a previous manifest (or journal) whose
+    succeeded entries are skipped.
+    """
 
     circuits: tuple[str, ...] = ("c432", "c880")
     stages: tuple[str, ...] = STAGES
@@ -56,6 +81,8 @@ class CampaignConfig:
     cache_dir: str | None = None
     seed: int = 1995
     quick: bool = True
+    out: str | None = None
+    resume: str | None = None
 
     def __post_init__(self) -> None:
         if not self.circuits:
@@ -235,32 +262,179 @@ _STAGE_RUNNERS = {
 }
 
 
+# ----------------------------------------------------------- journal / resume
+def journal_path(out: str | Path) -> Path:
+    """The incremental journal companion of a manifest path."""
+    return Path(f"{out}.partial.jsonl")
+
+
+def _journal_append(path: Path | None, entry: dict) -> None:
+    """Durably append one manifest entry; best-effort (a full or
+    read-only disk must not kill the campaign that is producing the
+    results the journal is meant to protect)."""
+    if path is None:
+        return
+    try:
+        with path.open("a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as exc:
+        warnings.warn(
+            f"campaign journal append failed ({type(exc).__name__}: {exc}); "
+            "continuing without checkpoint",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def load_resume_entries(path: str | Path) -> dict[tuple[str, str], dict]:
+    """Succeeded entries of a previous run, keyed by (circuit, stage).
+
+    Accepts a finished manifest (JSON dict with ``entries``) or the
+    ``.partial.jsonl`` journal a killed run left behind (one entry per
+    line; a torn final line — the kill arriving mid-append — is
+    ignored).  Only entries with ``status == "ok"`` are resumable;
+    failed ones re-execute.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ExperimentError(f"cannot read resume manifest {path}: {exc}") from exc
+    entries: list[dict] = []
+    if path.suffix == ".jsonl":
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn tail line from a mid-append kill
+    else:
+        try:
+            manifest = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(
+                f"resume manifest {path} is not valid JSON: {exc}"
+            ) from exc
+        entries = list(manifest.get("entries", []))
+    resumable: dict[tuple[str, str], dict] = {}
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        circuit, stage = entry.get("circuit"), entry.get("stage")
+        # Schema-1 manifests predate "status"; their entries all succeeded.
+        if circuit and stage and entry.get("status", "ok") == "ok":
+            resumable[(circuit, stage)] = entry
+    return resumable
+
+
 # ------------------------------------------------------------------ campaign
+def _run_stage(ctx: _Context, stage: str, key: str, plan: FaultPlan | None) -> dict:
+    """One (circuit, stage) under the fault plan's stage site
+    (``stage:<circuit>/<stage>:<kind>``).
+
+    ``error`` models a stage bug (quarantined by the caller); ``kill``
+    models the whole process dying — it raises :class:`InjectedKill`
+    (a ``BaseException``) so the per-stage ``except Exception`` cannot
+    absorb it and the run terminates mid-campaign, as a real SIGKILL
+    would, leaving only the journal behind.
+    """
+    kind = plan.match("stage", key) if plan else None
+    if kind == "kill":
+        raise InjectedKill(f"injected campaign kill at stage {key}")
+    if kind == "error":
+        raise ExperimentError(f"injected stage fault at {key}")
+    return _STAGE_RUNNERS[stage](ctx)
+
+
 def run_campaign(config: CampaignConfig) -> dict:
-    """Execute the campaign; returns the manifest dict."""
+    """Execute the campaign; returns the manifest dict.
+
+    Each (circuit, stage) is quarantined: an exception marks that entry
+    ``"status": "failed"`` (error string in the manifest) and the
+    campaign moves on — downstream stages of the same circuit may fail
+    in cascade, but other circuits are unaffected.  When ``config.out``
+    is set, every entry is journaled to ``<out>.partial.jsonl`` the
+    moment it completes and the manifest itself is written atomically
+    at the end (journal removed after a fully successful save).
+    """
     from repro.netlist.benchmarks import load_iscas85
 
     store = ArtifactStore(config.cache_dir)
     jobs = resolve_jobs(config.jobs)
+    plan = FaultPlan.from_env()
+    resumed_entries = (
+        load_resume_entries(config.resume) if config.resume else {}
+    )
+    journal = journal_path(config.out) if config.out else None
+    if journal is not None:
+        # Start a fresh journal: resume entries were loaded above, so a
+        # leftover journal from the killed run (possibly the file named
+        # by config.resume itself) is safe to truncate now.
+        try:
+            journal.unlink(missing_ok=True)
+        except OSError:
+            pass
     entries: list[dict] = []
     started = time.perf_counter()
     for name in config.circuits:
-        circuit = load_iscas85(name)
+        circuit = None
+        load_error: str | None = None
+        if not all(
+            (name, stage) in resumed_entries for stage in config.stages
+        ):
+            try:
+                circuit = load_iscas85(name)
+            except Exception as exc:
+                load_error = f"{type(exc).__name__}: {exc}"
         ctx = _Context(circuit=circuit, config=config, store=store, jobs=jobs)
         for stage in config.stages:
+            previous = resumed_entries.get((name, stage))
+            if previous is not None:
+                entry = dict(previous, resumed=True)
+                entries.append(entry)
+                _journal_append(journal, entry)
+                continue
             stage_started = time.perf_counter()
-            outcome = _STAGE_RUNNERS[stage](ctx)
-            entries.append(
-                {
+            if load_error is not None:
+                outcome_error: str | None = f"circuit load failed: {load_error}"
+            else:
+                try:
+                    outcome = _run_stage(ctx, stage, f"{name}/{stage}", plan)
+                    outcome_error = None
+                except Exception as exc:
+                    outcome_error = f"{type(exc).__name__}: {exc}"
+            if outcome_error is None:
+                entry = {
                     "circuit": name,
                     "stage": stage,
+                    "status": "ok",
                     "hit": outcome["hit"],
                     "seconds": time.perf_counter() - stage_started,
                     "meta": outcome["meta"],
                 }
-            )
-    hits = sum(1 for e in entries if e["hit"])
-    return {
+            else:
+                entry = {
+                    "circuit": name,
+                    "stage": stage,
+                    "status": "failed",
+                    "hit": False,
+                    "seconds": time.perf_counter() - stage_started,
+                    "error": outcome_error,
+                    "meta": {},
+                }
+            entries.append(entry)
+            _journal_append(journal, entry)
+    executed_ok = [
+        e for e in entries if e["status"] == "ok" and not e.get("resumed")
+    ]
+    hits = sum(1 for e in executed_ok if e["hit"])
+    failed = sum(1 for e in entries if e["status"] == "failed")
+    resumed = sum(1 for e in entries if e.get("resumed"))
+    manifest = {
         "schema": MANIFEST_SCHEMA,
         "cache_dir": str(store.root),
         "jobs": jobs,
@@ -271,40 +445,70 @@ def run_campaign(config: CampaignConfig) -> dict:
         "entries": entries,
         "totals": {
             "entries": len(entries),
+            # hits/misses count only stages executed this run — resumed
+            # entries were not touched, failed ones built nothing.
             "hits": hits,
-            "misses": len(entries) - hits,
+            "misses": len(executed_ok) - hits,
+            "failed": failed,
+            "resumed": resumed,
             "seconds": time.perf_counter() - started,
             "store": {
                 "hits": store.stats.hits,
                 "misses": store.stats.misses,
                 "puts": store.stats.puts,
+                "quarantined": store.stats.quarantined,
             },
         },
     }
+    if config.out:
+        save_manifest(manifest, config.out)
+        if journal is not None:
+            journal.unlink(missing_ok=True)
+    return manifest
 
 
 def save_manifest(manifest: dict, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    """Write the manifest atomically (temp + rename, like ``store.put``)
+    so a kill mid-save can never leave a torn manifest that a later
+    ``--resume`` would misread."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        Path(tmp).unlink(missing_ok=True)
+        raise
 
 
 def render_manifest(manifest: dict) -> str:
     """Human-readable campaign summary table."""
     from repro.flow.report import format_table
 
-    rows = [
-        [
-            entry["circuit"],
-            entry["stage"],
-            "hit" if entry["hit"] else "miss",
-            f"{entry['seconds']:.2f}s",
-        ]
-        for entry in manifest["entries"]
-    ]
+    rows = []
+    for entry in manifest["entries"]:
+        if entry.get("status", "ok") == "failed":
+            cache = "FAILED"
+        elif entry.get("resumed"):
+            cache = "resumed"
+        else:
+            cache = "hit" if entry["hit"] else "miss"
+        rows.append(
+            [entry["circuit"], entry["stage"], cache, f"{entry['seconds']:.2f}s"]
+        )
     totals = manifest["totals"]
     table = format_table(["circuit", "stage", "cache", "time"], rows)
+    extra = ""
+    if totals.get("failed"):
+        extra += f", {totals['failed']} failed"
+    if totals.get("resumed"):
+        extra += f", {totals['resumed']} resumed"
     return (
         f"{table}\n"
-        f"{totals['hits']}/{totals['entries']} stages from cache, "
+        f"{totals['hits']}/{totals['entries']} stages from cache{extra}, "
         f"{totals['seconds']:.2f}s total (jobs={manifest['jobs']}, "
         f"cache={manifest['cache_dir']})"
     )

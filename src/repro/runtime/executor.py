@@ -1,4 +1,4 @@
-"""The deterministic shard/submit/gather process-pool executor.
+"""The deterministic, fault-tolerant shard/submit/gather process pool.
 
 One small abstraction carries every parallel workload in the tree:
 sharded stuck-at detection-matrix builds, defect-parallel IDDQ ATPG and
@@ -9,34 +9,84 @@ Determinism rules (the contract every consumer is tested against):
 1. **Pure tasks.**  ``fn(state, task)`` must be a deterministic function
    of the worker state (as built by ``state_factory``) and the task —
    no dependence on wall clock, worker identity or sibling tasks.
+   Purity is also what makes recovery free: a re-dispatched task
+   returns the same value, so failure handling cannot change results.
 2. **Ordered gather.**  Results come back in *task order*, regardless
-   of which worker finished first, so any order-sensitive reduction
-   (matrix concatenation, best-of tie-breaks) sees the serial order.
+   of which worker finished first — and regardless of how many retry
+   or recovery rounds it took to fill each slot — so any
+   order-sensitive reduction (matrix concatenation, best-of tie-breaks)
+   sees the serial order.
 3. **Serial fallback is the reference.**  With ``jobs <= 1`` the exact
    same ``fn``/``state_factory`` run in-process; the parallel path must
-   produce identical results, which is what the equivalence tests pin.
+   produce identical results at any failure point, which is what the
+   equivalence and fault-injection suites pin.
+
+Failure model (DESIGN.md §10):
+
+* **Task exceptions** ship back as *values* carrying a pickle-safe
+  ``(type, message, traceback)`` triple — a non-picklable exception
+  cannot poison the result queue — and are retried up to
+  ``task_retries`` times (default 0: a bug in ``fn`` surfaces once)
+  with deterministic exponential backoff (``retry_backoff * 2^attempt``,
+  no jitter).
+* **Worker death** (``BrokenProcessPool``) keeps every completed
+  result; only unfinished tasks are re-dispatched on a fresh pool.
+  After :data:`MAX_POOL_RESTARTS` failed pools the survivors run on
+  the in-process serial path.  Pool-level recovery does not consume
+  per-task retry budget (the culprit is unknowable).
+* **Hangs**: with ``task_timeout`` set, a task past its deadline raises
+  :class:`~repro.errors.TaskTimeoutError` (or is re-dispatched while
+  retry budget remains); the stalled pool is torn down and its worker
+  processes terminated so a hung task cannot stall the gather forever.
+* **Pool-infrastructure failures** (a sandbox that forbids ``fork``,
+  unpicklable ``fn``/state under spawn) degrade to the serial path with
+  a warning — but only genuinely infrastructural errors take that exit:
+  exceptions raised *inside* a task can never be mistaken for them,
+  because the narrow catches sit where task exceptions cannot appear.
 
 Worker count resolution: explicit argument > ``REPRO_JOBS`` environment
-variable > serial (1).  The pool start method is the platform default
-(fork on Linux — worker state passed through the initializer is then
-inherited without pickling).  Infrastructure failures (a sandbox that
-forbids ``fork``, unpicklable state under ``spawn``, a broken pool)
-degrade to the serial path with a warning rather than failing the run.
+variable > serial (1); the value ``0`` means "all cores"
+(``os.cpu_count()``).  ``task_timeout``/``task_retries``/``retry_backoff``
+resolve the same way via ``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES``
+/ ``REPRO_RETRY_BACKOFF``.  The pool start method is the platform
+default (fork on Linux — worker state passed through the initializer is
+then inherited without pickling).  Deterministic fault injection for
+all of the above lives in :mod:`repro.runtime.faults`.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
+import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["Executor", "resolve_jobs"]
+from repro.errors import TaskError, TaskTimeoutError
+from repro.runtime.faults import FaultPlan, inject_task_fault
+
+__all__ = [
+    "Executor",
+    "resolve_jobs",
+    "resolve_task_retries",
+    "resolve_task_timeout",
+]
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variables supplying the default failure-handling knobs.
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+RETRY_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+
+#: Pool restarts per :meth:`Executor.map` before the survivors run
+#: serially (bounds recovery under a persistently crashing pool).
+MAX_POOL_RESTARTS = 2
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -44,43 +94,76 @@ R = TypeVar("R")
 #: Per-worker state, built once by the initializer.
 _WORKER_STATE = None
 
+#: True inside pool workers — gates crash/hang fault injection so the
+#: in-process serial reference can never be killed or stalled.
+_IN_WORKER = False
+
+#: Sentinel for a result slot not yet filled.
+_PENDING = object()
+
 
 class _TaskError:
     """A task-raised exception, shipped back as a *value*.
 
     Wrapping keeps genuine task failures distinguishable from
-    pool-infrastructure errors: only the latter may trigger the serial
-    fallback — a bug inside ``fn`` must surface once, not re-run the
-    whole task list and then surface anyway.
+    pool-infrastructure errors, and the payload is always picklable:
+    the original exception rides along only if it survives a pickle
+    round-trip, otherwise the ``(type name, message, traceback)``
+    triple stands in — so a non-picklable exception degrades to a
+    readable report instead of poisoning the result queue.
     """
 
     def __init__(self, exception: BaseException):
-        self.exception = exception
+        self.type_name = type(exception).__name__
+        self.message = str(exception)
+        self.traceback = traceback.format_exc()
+        try:
+            pickle.loads(pickle.dumps(exception))
+        except Exception:  # noqa: BLE001 - any pickling failure degrades
+            self.exception = None
+        else:
+            self.exception = exception
+
+    def reraise(self) -> None:
+        if self.exception is not None:
+            raise self.exception
+        raise TaskError(
+            f"task raised {self.type_name}: {self.message}\n"
+            f"(original exception is not picklable; worker traceback follows)\n"
+            f"{self.traceback}"
+        )
 
 
-class _TaskFailure(Exception):
-    """Internal carrier lifting a :class:`_TaskError` past the
-    infrastructure ``except`` clause in :meth:`Executor.map`."""
+class _PoolUnavailable(Exception):
+    """Internal: the pool infrastructure (not any task) is unusable."""
 
-    def __init__(self, exception: BaseException):
-        super().__init__(str(exception))
-        self.exception = exception
+    def __init__(self, cause: BaseException):
+        super().__init__(str(cause))
+        self.cause = cause
 
 
 def _init_worker(state_factory) -> None:
-    global _WORKER_STATE
+    global _WORKER_STATE, _IN_WORKER
+    _IN_WORKER = True
     _WORKER_STATE = state_factory() if state_factory is not None else None
 
 
-def _invoke(fn, task):
+def _invoke(fn, task, index, attempt, plan_spec):
     try:
+        if plan_spec:
+            inject_task_fault(FaultPlan.parse(plan_spec), index, attempt, _IN_WORKER)
         return fn(_WORKER_STATE, task)
     except Exception as exc:  # noqa: BLE001 - transported to the parent
         return _TaskError(exc)
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
-    """Worker count: explicit > ``REPRO_JOBS`` > 1 (serial)."""
+    """Worker count: explicit argument > ``REPRO_JOBS`` > 1 (serial).
+
+    From either source, ``0`` means "all cores" (``os.cpu_count()``) so
+    campaign scripts can say ``REPRO_JOBS=0`` portably; negative counts
+    are rejected.
+    """
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
         if env:
@@ -92,16 +175,88 @@ def resolve_jobs(jobs: int | None = None) -> int:
                 ) from exc
     if jobs is None:
         return 1
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs
+
+
+def resolve_task_timeout(timeout: float | None = None) -> float | None:
+    """Per-task deadline in seconds: argument > ``REPRO_TASK_TIMEOUT`` >
+    ``None`` (no deadline)."""
+    if timeout is None:
+        env = os.environ.get(TASK_TIMEOUT_ENV, "").strip()
+        if env:
+            try:
+                timeout = float(env)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{TASK_TIMEOUT_ENV} must be a number, got {env!r}"
+                ) from exc
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"task timeout must be > 0 seconds, got {timeout}")
+    return timeout
+
+
+def resolve_task_retries(retries: int | None = None) -> int:
+    """Per-task retry budget: argument > ``REPRO_TASK_RETRIES`` > 0."""
+    if retries is None:
+        env = os.environ.get(TASK_RETRIES_ENV, "").strip()
+        if env:
+            try:
+                retries = int(env)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{TASK_RETRIES_ENV} must be an integer, got {env!r}"
+                ) from exc
+    if retries is None:
+        return 0
+    if retries < 0:
+        raise ValueError(f"task retries must be >= 0, got {retries}")
+    return retries
+
+
+def _resolve_retry_backoff(backoff: float | None = None) -> float:
+    """Backoff base in seconds: argument > ``REPRO_RETRY_BACKOFF`` > 0."""
+    if backoff is None:
+        env = os.environ.get(RETRY_BACKOFF_ENV, "").strip()
+        backoff = float(env) if env else 0.0
+    if backoff < 0:
+        raise ValueError(f"retry backoff must be >= 0, got {backoff}")
+    return backoff
+
+
+def _terminate_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Kill a stalled/broken pool's workers so a hung task cannot block
+    interpreter exit (best-effort; touches executor internals)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 - already-dead workers are fine
+            pass
 
 
 class Executor:
     """Shard/submit/gather over a process pool (see module docstring)."""
 
-    def __init__(self, jobs: int | None = None):
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        task_timeout: float | None = None,
+        task_retries: int | None = None,
+        retry_backoff: float | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
         self.jobs = resolve_jobs(jobs)
+        self.task_timeout = resolve_task_timeout(task_timeout)
+        self.task_retries = resolve_task_retries(task_retries)
+        self.retry_backoff = _resolve_retry_backoff(retry_backoff)
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
 
     @property
     def serial(self) -> bool:
@@ -118,47 +273,196 @@ class Executor:
         ``fn`` and ``state_factory`` must be module-level callables (or
         ``functools.partial`` of one) so they survive pickling; the
         state factory runs once per worker.  Serial mode builds the
-        state once in-process and loops.
+        state once in-process and loops.  Failure semantics are the
+        module-docstring contract: completed results survive worker
+        death, task exceptions retry up to ``task_retries``, hangs past
+        ``task_timeout`` raise :class:`~repro.errors.TaskTimeoutError`.
         """
         tasks = list(tasks)
         if not tasks:
             return []
+        results: list = [_PENDING] * len(tasks)
         if self.serial or len(tasks) == 1:
-            return self._run_serial(fn, tasks, state_factory)
+            self._run_serial(fn, tasks, state_factory, range(len(tasks)), results)
+            return results
         try:
-            return self._run_parallel(fn, tasks, state_factory)
-        except _TaskFailure as failure:
-            raise failure.exception from None
-        except (BrokenProcessPool, pickle.PicklingError, AttributeError,
-                OSError) as exc:
-            # Only infrastructure failures reach here — a sandbox that
-            # forbids fork, an unpicklable fn/state under spawn, a dead
-            # pool.  Task-raised exceptions come back as _TaskError
-            # values and re-raise above without a fallback rerun.
-            warnings.warn(
-                f"process pool unavailable ({type(exc).__name__}: {exc}); "
-                "falling back to the serial executor",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return self._run_serial(fn, tasks, state_factory)
+            pickle.dumps((fn, state_factory))
+        except Exception as exc:  # noqa: BLE001 - anything unpicklable
+            # fn/state can't cross the process boundary at all: nothing
+            # was dispatched, so the serial run is the first execution.
+            self._warn_fallback(exc)
+            self._run_serial(fn, tasks, state_factory, range(len(tasks)), results)
+            return results
+        return self._run_parallel(fn, tasks, state_factory, results)
 
     # ---------------------------------------------------------------- internal
     @staticmethod
-    def _run_serial(fn, tasks: Sequence, state_factory) -> list:
-        state = state_factory() if state_factory is not None else None
-        return [fn(state, task) for task in tasks]
+    def _warn_fallback(cause: BaseException) -> None:
+        warnings.warn(
+            f"process pool unavailable ({type(cause).__name__}: {cause}); "
+            "falling back to the serial executor",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
-    def _run_parallel(self, fn, tasks: Sequence, state_factory) -> list:
-        workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(state_factory,),
-        ) as pool:
-            futures = [pool.submit(_invoke, fn, task) for task in tasks]
-            results = [future.result() for future in futures]
-        for result in results:
-            if isinstance(result, _TaskError):
-                raise _TaskFailure(result.exception)
+    def _backoff(self, attempt: int) -> None:
+        """Deterministic exponential backoff before a retry round."""
+        delay = self.retry_backoff * (2 ** max(0, attempt - 1))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _run_serial(self, fn, tasks, state_factory, indices, results) -> None:
+        """Run ``indices`` in order, in-process, filling ``results``.
+
+        Applies the same transient-error retry budget as the parallel
+        path (``error``-kind injected faults fire here too, so retry
+        logic is testable without a pool); crash/hang injection never
+        fires in-process.
+        """
+        state = state_factory() if state_factory is not None else None
+        plan = self.fault_plan
+        for i in indices:
+            attempt = 0
+            while True:
+                try:
+                    if plan:
+                        inject_task_fault(plan, i, attempt, in_worker=False)
+                    results[i] = fn(state, tasks[i])
+                    break
+                except Exception:
+                    if attempt >= self.task_retries:
+                        raise
+                    attempt += 1
+                    self._backoff(attempt)
+
+    def _run_parallel(self, fn, tasks, state_factory, results) -> list:
+        attempts = [0] * len(tasks)
+        pending = list(range(len(tasks)))
+        restarts = 0
+        while pending:
+            try:
+                completed, failed, timed_out, unfinished, broken = self._run_round(
+                    fn, tasks, state_factory, pending, attempts
+                )
+            except _PoolUnavailable as infra:
+                # Fork forbidden / unpicklable payload: nothing in this
+                # round ran, completed earlier-round results are kept.
+                self._warn_fallback(infra.cause)
+                self._run_serial(fn, tasks, state_factory, pending, results)
+                return results
+            for i, value in completed.items():
+                results[i] = value
+            next_pending: list[int] = []
+            retried = 0
+            for i, error in failed.items():
+                attempts[i] += 1
+                if attempts[i] > self.task_retries:
+                    error.reraise()
+                retried = max(retried, attempts[i])
+                next_pending.append(i)
+            if timed_out is not None:
+                attempts[timed_out] += 1
+                if attempts[timed_out] > self.task_retries:
+                    raise TaskTimeoutError(
+                        f"task {timed_out} exceeded the {self.task_timeout}s "
+                        f"deadline on attempt {attempts[timed_out]}"
+                    )
+                retried = max(retried, attempts[timed_out])
+                next_pending.append(timed_out)
+            for i in unfinished:
+                # Advance the attempt (per-attempt fault injection must
+                # see progress) but charge no retry budget: the worker
+                # death that stranded these tasks names no culprit.
+                attempts[i] += 1
+                next_pending.append(i)
+            if broken or timed_out is not None:
+                restarts += 1
+                if restarts > MAX_POOL_RESTARTS:
+                    self._warn_fallback(
+                        RuntimeError(
+                            f"process pool failed {restarts} times; running "
+                            f"{len(next_pending)} remaining task(s) serially"
+                        )
+                    )
+                    self._run_serial(
+                        fn, tasks, state_factory, sorted(next_pending), results
+                    )
+                    return results
+            if retried:
+                self._backoff(retried)
+            pending = sorted(next_pending)
         return results
+
+    def _run_round(self, fn, tasks, state_factory, indices, attempts):
+        """One pool lifetime: submit ``indices``, gather what finishes.
+
+        Returns ``(completed, failed, timed_out, unfinished, broken)``:
+        values by index, task-raised :class:`_TaskError` by index, the
+        index of the first task past its deadline (or ``None``), the
+        indices whose fate is unknown (worker died / round abandoned),
+        and whether the pool broke.  Raises :class:`_PoolUnavailable`
+        only for errors no task can produce (fork failure, payload
+        pickling) — a bug inside ``fn`` can never take that exit.
+        """
+        workers = min(self.jobs, len(indices))
+        plan_spec = self.fault_plan.spec if self.fault_plan else ""
+        completed: dict[int, object] = {}
+        failed: dict[int, _TaskError] = {}
+        unfinished: list[int] = []
+        timed_out: int | None = None
+        broken = False
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(state_factory,),
+            )
+        except OSError as exc:
+            raise _PoolUnavailable(exc) from exc
+        try:
+            try:
+                futures = {
+                    i: pool.submit(_invoke, fn, tasks[i], i, attempts[i], plan_spec)
+                    for i in indices
+                }
+            except (OSError, RuntimeError) as exc:
+                # Worker spawn failed (sandboxed fork) — no task ran.
+                raise _PoolUnavailable(exc) from exc
+            for i in indices:
+                future = futures[i]
+                if broken or timed_out is not None:
+                    # Round already abandoned: harvest without waiting.
+                    if future.done():
+                        try:
+                            value = future.result(timeout=0)
+                        except Exception:  # noqa: BLE001 - infra error
+                            unfinished.append(i)
+                            continue
+                        (failed if isinstance(value, _TaskError) else completed)[
+                            i
+                        ] = value
+                    else:
+                        unfinished.append(i)
+                    continue
+                try:
+                    value = future.result(timeout=self.task_timeout)
+                except FuturesTimeout:
+                    timed_out = i
+                except BrokenProcessPool:
+                    broken = True
+                    unfinished.append(i)
+                except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                    # Only submission/result *pickling* errors surface as
+                    # future exceptions — fn's own exceptions come back
+                    # as _TaskError values — so this cannot shadow a
+                    # genuine task bug.
+                    raise _PoolUnavailable(exc) from exc
+                else:
+                    (failed if isinstance(value, _TaskError) else completed)[
+                        i
+                    ] = value
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+            if broken or timed_out is not None:
+                _terminate_pool_processes(pool)
+        return completed, failed, timed_out, unfinished, broken

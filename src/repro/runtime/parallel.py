@@ -25,6 +25,12 @@ Worker state is shipped through the executor's ``state_factory`` as
 ``functools.partial`` over module-level builders — under fork it is
 inherited copy-on-write (the parent pre-compiles the circuit so workers
 start warm), under spawn it is pickled once per worker.
+
+Because each shard/defect/seed task is a pure function of its inputs,
+the executor's failure recovery (DESIGN.md §10) is free here: a crashed
+or timed-out worker's tasks are simply re-dispatched and the gathered
+result is bit-identical to the fault-free run — the fault-injection
+suite pins this for every driver below.
 """
 
 from __future__ import annotations

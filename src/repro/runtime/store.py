@@ -31,9 +31,11 @@ delete a concurrently re-written good artifact.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
+import warnings
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,13 +43,37 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro.runtime.faults import FaultPlan, corrupt_file
+
 __all__ = ["Artifact", "ArtifactStore", "default_cache_dir"]
 
 _LAYOUT = "v1"
 _META_KEY = "__meta__"
+_DIGEST_KEY = "__digest__"
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable turning on payload-digest verification on read.
+CACHE_VERIFY_ENV = "REPRO_CACHE_VERIFY"
+
+
+def _payload_digest(arrays: Mapping[str, np.ndarray], meta_json: str) -> str:
+    """Canonical blake2b over the payload: sorted array names with
+    dtype/shape/bytes, then the meta JSON string."""
+    digest = hashlib.blake2b(digest_size=20)
+    for name in sorted(arrays):
+        value = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(value.dtype).encode())
+        digest.update(repr(value.shape).encode())
+        digest.update(value.tobytes())
+    digest.update(meta_json.encode())
+    return digest.hexdigest()
+
+
+class _DigestMismatch(Exception):
+    """Internal: stored payload digest does not match the bytes read."""
 
 
 def default_cache_dir() -> Path:
@@ -76,6 +102,7 @@ class StoreStats:
     misses: int = 0
     puts: int = 0
     quarantined: int = 0
+    put_errors: int = 0
     by_kind: dict = field(default_factory=dict)
 
     def _bump(self, kind: str, slot: str) -> None:
@@ -85,11 +112,35 @@ class StoreStats:
 
 
 class ArtifactStore:
-    """Content-addressed npz artifact cache (see module docstring)."""
+    """Content-addressed npz artifact cache (see module docstring).
 
-    def __init__(self, root: str | Path | None = None):
+    ``verify`` enables payload-digest verification on every read
+    (argument > ``REPRO_CACHE_VERIFY`` > off): each ``put`` embeds a
+    canonical blake2b of arrays + metadata, and a read whose recomputed
+    digest mismatches is quarantined and treated as a miss — catching
+    corruption that still parses as a valid npz.  ``fault_plan``
+    (default: ``REPRO_FAULT_PLAN``) lets the deterministic harness
+    corrupt the artifact written by a chosen put ordinal
+    (``put:<n>:corrupt``, see :mod:`repro.runtime.faults`).
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        verify: bool | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
+        if verify is None:
+            env = os.environ.get(CACHE_VERIFY_ENV, "").strip().lower()
+            verify = env in ("1", "true", "yes", "on")
+        self.verify = verify
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
         self.stats = StoreStats()
+        self._put_ordinal = 0
 
     # ------------------------------------------------------------------ paths
     def path_for(self, kind: str, key: str) -> Path:
@@ -128,7 +179,8 @@ class ArtifactStore:
 
     # ------------------------------------------------------------------ access
     def get(self, kind: str, key: str) -> Artifact | None:
-        """Load an artifact, or ``None`` on miss (corrupt files count as
+        """Load an artifact, or ``None`` on miss (corrupt files —
+        including digest mismatches when ``verify`` is on — count as
         misses and are quarantined)."""
         path = self.path_for(kind, key)
         if not path.is_file():
@@ -137,12 +189,20 @@ class ArtifactStore:
         try:
             with np.load(path, allow_pickle=False) as payload:
                 arrays = {
-                    name: payload[name] for name in payload.files if name != _META_KEY
+                    name: payload[name]
+                    for name in payload.files
+                    if name not in (_META_KEY, _DIGEST_KEY)
                 }
-                meta = json.loads(str(payload[_META_KEY]))
+                meta_json = str(payload[_META_KEY])
+                meta = json.loads(meta_json)
+                if self.verify and _DIGEST_KEY in payload.files:
+                    stored = str(payload[_DIGEST_KEY])
+                    if _payload_digest(arrays, meta_json) != stored:
+                        raise _DigestMismatch(path)
         except (OSError, ValueError, KeyError, json.JSONDecodeError,
-                zipfile.BadZipFile):
-            # A half-written or foreign file: set it aside and rebuild.
+                zipfile.BadZipFile, _DigestMismatch):
+            # A half-written, foreign or bit-rotted file: set it aside
+            # and rebuild.
             self._quarantine(path, kind)
             self.stats._bump(kind, "misses")
             return None
@@ -157,10 +217,10 @@ class ArtifactStore:
         meta: Mapping[str, object] | None = None,
     ) -> Path:
         """Write an artifact atomically; returns its path."""
-        if _META_KEY in arrays:
-            raise ValueError(f"array name {_META_KEY!r} is reserved")
-        path = self.path_for(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        if _META_KEY in arrays or _DIGEST_KEY in arrays:
+            raise ValueError(
+                f"array names {_META_KEY!r}/{_DIGEST_KEY!r} are reserved"
+            )
         payload = {name: np.asarray(value) for name, value in arrays.items()}
         for name, value in payload.items():
             if value.dtype.kind == "O":
@@ -168,7 +228,12 @@ class ArtifactStore:
                     f"array {name!r} has object dtype; artifacts must be "
                     "plain numeric/bool/bytes arrays (no pickles)"
                 )
-        payload[_META_KEY] = np.asarray(json.dumps(meta or {}, sort_keys=True))
+        meta_json = json.dumps(meta or {}, sort_keys=True)
+        digest = _payload_digest(payload, meta_json)
+        payload[_META_KEY] = np.asarray(meta_json)
+        payload[_DIGEST_KEY] = np.asarray(digest)
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -178,6 +243,10 @@ class ArtifactStore:
             Path(tmp).unlink(missing_ok=True)
             raise
         self.stats._bump(kind, "puts")
+        ordinal = self._put_ordinal
+        self._put_ordinal += 1
+        if self.fault_plan and self.fault_plan.match("put", ordinal) == "corrupt":
+            corrupt_file(path)
         return path
 
     def fetch(
@@ -190,13 +259,25 @@ class ArtifactStore:
 
         Returns ``(artifact, hit)``.  The built payload is returned
         as-is (not re-read from disk) — the round-trip test suite pins
-        write/read exactness separately.
+        write/read exactness separately.  A write that fails with
+        ``OSError`` (read-only cache directory, disk full) degrades to
+        compute-without-cache with a warning: the freshly built value
+        is still returned, only the memoization is lost.
         """
         cached = self.get(kind, key)
         if cached is not None:
             return cached, True
         arrays, meta = build()
-        self.put(kind, key, arrays, meta)
+        try:
+            self.put(kind, key, arrays, meta)
+        except OSError as exc:
+            self.stats.put_errors += 1
+            warnings.warn(
+                f"artifact store write failed for {kind}/{key[:8]} "
+                f"({type(exc).__name__}: {exc}); continuing without cache",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return (
             Artifact(
                 kind=kind,

@@ -178,10 +178,13 @@ class TestCampaignCLI:
         )
         assert code == 0
         manifest = json.loads(out.read_text())
-        assert manifest["schema"] == 1
+        assert manifest["schema"] == 2
         assert [e["stage"] for e in manifest["entries"]] == [
             "separation",
             "stuck-at",
         ]
+        assert all(e["status"] == "ok" for e in manifest["entries"])
+        # A successful save removes the incremental journal.
+        assert not out.with_name(out.name + ".partial.jsonl").exists()
         printed = capsys.readouterr().out
         assert "stages from cache" in printed

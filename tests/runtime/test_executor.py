@@ -51,8 +51,13 @@ class TestResolveJobs:
             resolve_jobs()
 
     def test_bad_count(self):
-        with pytest.raises(ValueError, match=">= 1"):
-            resolve_jobs(0)
+        with pytest.raises(ValueError, match=">= 0"):
+            resolve_jobs(-1)
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        assert resolve_jobs(0) == max(1, os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_jobs() == max(1, os.cpu_count() or 1)
 
 
 class TestMap:
