@@ -13,6 +13,10 @@ Two claims are measured (and floored) here:
   must serve every separation/detection/test-set/optimizer artifact
   from the cache (hits == entries, the manifest-level acceptance
   criterion) and finish faster than the cold run.
+* **Disabled-telemetry overhead** — the instrumented-but-off cost of
+  the observability layer (DESIGN §11) on the serial detection-matrix
+  build: instrumentation call count x measured per-call disabled cost
+  must stay <= 3% of the op's wall clock.
 """
 
 import os
@@ -22,6 +26,7 @@ import time
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.faultsim.patterns import random_patterns
 from repro.faultsim.stuck_at import StuckAtSimulator, enumerate_stuck_at_faults
 from repro.netlist.benchmarks import load_iscas85
@@ -92,6 +97,91 @@ def test_detection_matrix_sharded_4workers_c7552(benchmark, c7552, stuck_setup):
         )
     else:
         print(f"(speedup floor skipped: {cpus} < {_WORKERS} CPUs)")
+
+
+# -------------------------------------------------------- disabled overhead
+def _count_instrumentation_calls(func) -> int:
+    """Run ``func`` once with the telemetry entry points replaced by
+    counting no-ops; returns how many times the op would have touched
+    the (disabled) tracer/metrics singletons."""
+    from repro.obs.core import _NULL_SPAN, Metrics, Tracer
+
+    calls = 0
+
+    def counting_inc(self, name, value=1):
+        nonlocal calls
+        calls += 1
+
+    def counting_span(self, name, **attrs):
+        nonlocal calls
+        calls += 1
+        return _NULL_SPAN
+
+    def counting_instant(self, name, **attrs):
+        nonlocal calls
+        calls += 1
+
+    saved = (Metrics.inc, Tracer.span, Tracer.instant)
+    Metrics.inc, Tracer.span, Tracer.instant = (
+        counting_inc, counting_span, counting_instant,
+    )
+    try:
+        func()
+    finally:
+        Metrics.inc, Tracer.span, Tracer.instant = saved
+    return calls
+
+
+def _disabled_call_cost() -> float:
+    """Per-call seconds of a disabled counter bump / span, whichever is
+    worse (fresh disabled instances, so an enabled environment cannot
+    skew the measurement)."""
+    from repro.obs.core import Metrics, Tracer
+
+    metrics = Metrics(enabled=False)
+    tracer = Tracer(enabled=False)
+    rounds = 100_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        metrics.inc("bench.disabled", 1)
+    inc_cost = (time.perf_counter() - start) / rounds
+    start = time.perf_counter()
+    for _ in range(rounds):
+        with tracer.span("bench.disabled", attr=1):
+            pass
+    span_cost = (time.perf_counter() - start) / rounds
+    return max(inc_cost, span_cost)
+
+
+def test_disabled_telemetry_overhead_floor(benchmark, c7552, stuck_setup):
+    """Instrumented-but-off must cost <= 3% of the serial build.
+
+    Timing two runs against each other would drown the signal in
+    run-to-run noise, so the bound is computed analytically: the number
+    of instrumentation call sites the op actually crosses, times the
+    measured worst-case per-call cost of a disabled bump/span, over the
+    op's own wall clock.
+    """
+    assert not obs.TRACER.enabled and not obs.METRICS.enabled, (
+        "overhead floor must run with telemetry off (unset REPRO_TRACE/"
+        "REPRO_METRICS)"
+    )
+    faults, patterns = stuck_setup
+    sim = StuckAtSimulator(c7552)
+    op = lambda: sim.detection_matrix(faults, patterns)  # noqa: E731
+    _timed_once(benchmark, "overhead_op", op)
+    op_seconds = _RECORDED["overhead_op"][0]
+    calls = _count_instrumentation_calls(op)
+    per_call = _disabled_call_cost()
+    overhead = calls * per_call / op_seconds
+    print(
+        f"\ndisabled telemetry: {calls} calls x {per_call * 1e9:.0f}ns "
+        f"/ {op_seconds:.2f}s op = {100 * overhead:.3f}% overhead"
+    )
+    assert overhead <= 0.03, (
+        f"disabled instrumentation costs {100 * overhead:.2f}% of the "
+        f"serial detection build (floor 3%)"
+    )
 
 
 # ------------------------------------------------------------------ campaign

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.current import GateElectricals
 from repro.netlist.circuit import Circuit
 from repro.netlist.compiled import csr_gather, level_blocks
@@ -348,6 +349,7 @@ class IncrementalTiming:
         if seeds.size == 0 or self.num_gates == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
         if seeds.size * IncrementalTiming.CONE_DIVISOR < self.num_gates:
+            obs.METRICS.inc("timing.update.cone")
             return self._cone_update(arrival, delays, seeds, block_max)
         seed_blocks = np.unique(self._block_of_gate[seeds])
         # Dispatch on the *reachable* dirty set, not the seeded one: a
@@ -357,7 +359,9 @@ class IncrementalTiming:
         reach = self._block_reach[seed_blocks].any(axis=0)
         reach[seed_blocks] = True
         if 2 * int(np.count_nonzero(reach)) >= self.num_blocks:
+            obs.METRICS.inc("timing.update.full")
             return self._full_update(arrival, delays, block_max)
+        obs.METRICS.inc("timing.update.block")
         return self._block_update(arrival, delays, seed_blocks, block_max)
 
     def _full_update(self, arrival, delays, block_max):
@@ -497,6 +501,8 @@ class IncrementalTiming:
             return np.empty(0, dtype=np.float64)
         if self.num_gates == 0:
             return np.zeros(count, dtype=np.float64)
+        obs.METRICS.inc("timing.retime_batch.calls")
+        obs.METRICS.inc("timing.retime_batch.candidates", count)
         base_max = (
             float(block_max.max())
             if block_max is not None and block_max.size
@@ -513,6 +519,7 @@ class IncrementalTiming:
         dl = self._lm_delays
         np.take(delays, self._order_lm, out=dl)
         if cone_mask.all():
+            obs.METRICS.inc("timing.retime_batch.full_cone")
             # Fast path: scratch rows are exactly the lm positions, plus
             # one trailing ``-inf`` sentinel row absorbing pad entries.
             delay_rows = np.empty((self.num_gates, count), dtype=np.float64)
@@ -529,6 +536,7 @@ class IncrementalTiming:
 
         # Partial cone: cone blocks' lm slices become contiguous scratch
         # rows; out-of-cone fanins append as constant base-arrival rows.
+        obs.METRICS.inc("timing.retime_batch.partial_cone")
         cone_blocks = np.nonzero(cone_mask)[0]
         # One extra entry so the pad sentinel (lm position ``num_gates``)
         # remaps to the scratch sentinel row (index -1, the ``-inf`` row).

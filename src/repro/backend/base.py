@@ -30,6 +30,7 @@ import os
 
 import numpy as np
 
+from repro import obs
 from repro.errors import FaultSimError
 from repro.netlist.compiled import CompiledGraph
 
@@ -74,7 +75,24 @@ class SimBackend:
         constant (stuck-at injection); their values must survive the
         pass — the backend either skips them as destinations or
         re-asserts them after every batch.
+
+        This base method owns the telemetry (a ``backend.full_pass``
+        span plus per-backend counters, no-ops while observability is
+        disabled) and dispatches to :meth:`_run_schedule`, which is
+        what backends implement — so an accelerator port inherits
+        instrumentation for free and every backend reports identically.
         """
+        obs.METRICS.inc("backend.full_pass")
+        obs.METRICS.inc(f"backend.full_pass.{self.name}")
+        with obs.TRACER.span(
+            "backend.full_pass", backend=self.name, words=int(state.shape[1])
+        ):
+            self._run_schedule(cg, state, pinned_rows)
+
+    def _run_schedule(
+        self, cg: CompiledGraph, state: np.ndarray, pinned_rows: np.ndarray
+    ) -> None:
+        """The actual schedule kernel; see :meth:`run_schedule`."""
         raise NotImplementedError
 
     def run_cone(

@@ -34,7 +34,7 @@ class FusedBackend(SimBackend):
 
     name = "fused"
 
-    def run_schedule(
+    def _run_schedule(
         self, cg: CompiledGraph, state: np.ndarray, pinned_rows: np.ndarray
     ) -> None:
         pinned_values = state[pinned_rows] if pinned_rows.size else None

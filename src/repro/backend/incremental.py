@@ -51,6 +51,7 @@ from heapq import heappop, heappush
 
 import numpy as np
 
+from repro import obs
 from repro.backend.fused import FusedBackend
 from repro.netlist.compiled import (
     _BASE_OP,
@@ -83,6 +84,10 @@ class IncrementalBackend(FusedBackend):
         changed_nodes: np.ndarray,
         value_cache: dict[int, int] | None = None,
     ) -> np.ndarray:
+        # Counters only: a cone replay is far too hot (and too short)
+        # for a span per call; ``trace-report`` derives mean wave size
+        # from changed_rows / calls.
+        obs.METRICS.inc("backend.run_cone")
         fanins_of_slot, op_of_slot, inverts, node_of_slot, fanout_slots = (
             self._plan(cg)
         )
@@ -146,6 +151,7 @@ class IncrementalBackend(FusedBackend):
 
         if not changed_rows:
             return np.empty(0, dtype=np.int32)
+        obs.METRICS.inc("backend.run_cone.changed_rows", len(changed_rows))
         rows = np.asarray(changed_rows, dtype=np.int32)
         state[rows] = np.frombuffer(
             b"".join(values[row].to_bytes(nbytes, "little") for row in changed_rows),

@@ -24,7 +24,7 @@ class NumpyBackend(SimBackend):
 
     name = "numpy"
 
-    def run_schedule(
+    def _run_schedule(
         self, cg: CompiledGraph, state: np.ndarray, pinned_rows: np.ndarray
     ) -> None:
         for group in cg.sim_groups:

@@ -150,6 +150,15 @@ class RuntimeConfig:
         task_retries: bounded per-task retry budget; ``None`` defers to
             ``REPRO_TASK_RETRIES`` and then 0 (a task bug surfaces
             once).  Retries back off deterministically (no jitter).
+        trace: record runtime spans on the process-wide tracer
+            (:mod:`repro.obs`); ``None`` defers to ``REPRO_TRACE`` and
+            then off.  Tracing never changes computed results — only
+            how the run is described.
+        metrics: record runtime counters/gauges on the process-wide
+            metrics registry; ``None`` defers to ``REPRO_METRICS`` and
+            then off.  Enabled implicitly alongside ``trace`` by
+            consumers that export both (the campaign runner's
+            ``--trace``).
     """
 
     jobs: int | None = None
@@ -157,6 +166,8 @@ class RuntimeConfig:
     defect_parallel: bool = False
     task_timeout: float | None = None
     task_retries: int | None = None
+    trace: bool | None = None
+    metrics: bool | None = None
 
     def __post_init__(self) -> None:
         if self.jobs is not None and self.jobs < 0:
@@ -167,6 +178,17 @@ class RuntimeConfig:
             raise OptimizationError("task_timeout must be > 0 seconds")
         if self.task_retries is not None and self.task_retries < 0:
             raise OptimizationError("task_retries must be >= 0")
+
+    def apply_observability(self) -> None:
+        """Flip the process-wide tracer/metrics singletons to match the
+        non-``None`` ``trace`` / ``metrics`` fields (``None`` keeps the
+        environment-derived state).  Called by flow entry points that
+        accept a config; imports lazily so the config module stays free
+        of runtime imports."""
+        if self.trace is not None or self.metrics is not None:
+            from repro import obs
+
+            obs.enable(trace=self.trace, metrics=self.metrics)
 
 
 @dataclass(frozen=True)

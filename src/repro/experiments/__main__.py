@@ -8,7 +8,9 @@ Usage::
     python -m repro.experiments campaign [--circuits c432,c880]
         [--stages separation,stuck-at,atpg,optimize] [--jobs N]
         [--cache-dir DIR] [--out manifest.json] [--resume MANIFEST]
-        [--task-timeout SECONDS] [--task-retries N] [--seed S] [--full]
+        [--trace TRACE.json] [--task-timeout SECONDS] [--task-retries N]
+        [--seed S] [--full]
+    python -m repro.experiments trace-report TRACE.json
 
 ``all`` continues past a failing experiment, prints a per-experiment
 pass/fail summary and exits non-zero if any failed.  ``campaign`` runs
@@ -17,8 +19,11 @@ and writes a JSON manifest of artifacts, cache hits and timings
 (see :mod:`repro.runtime.campaign`).  With ``--out`` the campaign also
 journals entries to ``<out>.partial.jsonl`` as they complete;
 ``--resume`` takes a previous manifest (or that journal) and skips
-stages already recorded as succeeded.  A campaign with failed stages
-exits 1 (the manifest still records every entry).
+stages already recorded as succeeded.  ``--trace`` turns on runtime
+telemetry (spans + counters, workers included) and writes a Chrome
+trace-event file loadable in Perfetto / ``chrome://tracing``;
+``trace-report`` summarizes such a file in the terminal.  A campaign
+with failed stages exits 1 (the manifest still records every entry).
 """
 
 from __future__ import annotations
@@ -77,6 +82,7 @@ def _run_campaign(args) -> int:
         quick=not args.full,
         out=args.out,
         resume=args.resume,
+        trace=args.trace,
     )
     manifest = run_campaign(config)
     print(render_manifest(manifest))
@@ -136,6 +142,14 @@ def main(argv: list[str] | None = None) -> int:
         "succeeded entries are skipped",
     )
     campaign.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE.json",
+        help="enable runtime telemetry and write a Chrome trace-event "
+        "file here (load in Perfetto or chrome://tracing; summarize "
+        "with the trace-report subcommand)",
+    )
+    campaign.add_argument(
         "--task-timeout",
         type=float,
         default=None,
@@ -152,6 +166,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     campaign.add_argument("--seed", type=int, default=1995)
     campaign.add_argument("--full", action="store_true", help="full (slow) budgets")
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="summarize a Chrome trace-event file written by "
+        "campaign --trace (per-span totals, per-worker attribution, "
+        "runtime counters)",
+    )
+    trace_report.add_argument("trace", help="trace JSON path")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -164,6 +185,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "trace-report":
+        from repro.obs.report import render_trace_report
+
+        print(render_trace_report(args.trace))
+        return 0
     return _run_all(args.full)
 
 

@@ -40,6 +40,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.backend import SimBackend, get_backend
 from repro.faultsim.coverage import CoverageReport, effective_thresholds_ua
 from repro.faultsim.faults import BridgingFault, Defect, GateOxideShort, StuckOnTransistor
@@ -102,7 +103,9 @@ class CoverageEngine:
         ] = OrderedDict()  # key -> [patterns, values, bits, leak|None]
         self._active_key: tuple | None = None
         #: (full resims, incremental patches, content hits) — the
-        #: sim-state reuse telemetry the runtime tests assert on.
+        #: sim-state reuse telemetry the runtime tests assert on; every
+        #: bump is mirrored into :data:`repro.obs.METRICS` as
+        #: ``engine.state.<key>`` when metrics are enabled.
         self.state_stats = {"full": 0, "patches": 0, "hits": 0}
         self._obs_cache: dict[
             tuple, tuple[Partition, tuple[Defect, ...], np.ndarray, np.ndarray]
@@ -196,7 +199,7 @@ class CoverageEngine:
         if entry is not None and np.array_equal(entry[0], patterns):
             self._state_cache.move_to_end(key)
             self._activate(key)
-            self.state_stats["hits"] += 1
+            self._stat("hits")
             return entry[1], entry[2]
         if self.backend.supports_incremental:
             prepared = self._prepare_incremental(key, patterns)
@@ -205,8 +208,14 @@ class CoverageEngine:
         values = self.sim.simulate_values(patterns)
         bits = self.sim.unpack_bits(values)
         self._remember(key, [patterns.copy(), values, bits, None])
-        self.state_stats["full"] += 1
+        self._stat("full")
         return values, bits
+
+    def _stat(self, key: str) -> None:
+        """Bump one sim-state counter in both views (local dict +
+        process metrics registry)."""
+        self.state_stats[key] += 1
+        obs.METRICS.inc(f"engine.state.{key}")
 
     def _activate(self, key: tuple) -> None:
         """Make ``key`` the slot the background cache refers to."""
@@ -219,6 +228,8 @@ class CoverageEngine:
         self._state_cache.move_to_end(key)
         while len(self._state_cache) > self._STATE_SLOTS:
             self._state_cache.popitem(last=False)
+            obs.METRICS.inc("engine.state.evictions")
+        obs.METRICS.gauge("engine.state.slots", len(self._state_cache))
         self._activate(key)
 
     def _prepare_incremental(
@@ -272,7 +283,7 @@ class CoverageEngine:
             # The background rows now describe the patched batch.
             self._active_key = key
         self._remember(key, [patterns.copy(), values, bits, None])
-        self.state_stats["patches"] += 1
+        self._stat("patches")
         return values, bits
 
     def _full_leak(self, values: NodeValues) -> np.ndarray:

@@ -41,6 +41,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.backend import SimBackend
 from repro.faultsim.logic_sim import LogicSimulator
 from repro.errors import FaultSimError
@@ -175,21 +176,29 @@ class StuckAtSimulator:
                 backend=self.simulator.backend.name,
             )
         num_patterns = patterns.shape[0]
-        out = np.zeros((len(faults), num_patterns), dtype=np.bool_)
-        classes = self._collapse_classes(faults)
-        if not classes or not len(self._out_nodes):
-            # No primary outputs: nothing is observable, every fault
-            # escapes (the reference crashed here before the guard).
+        with obs.TRACER.span(
+            "detection_matrix",
+            circuit=self.circuit.name,
+            faults=len(faults),
+            patterns=num_patterns,
+        ):
+            out = np.zeros((len(faults), num_patterns), dtype=np.bool_)
+            classes = self._collapse_classes(faults)
+            if not classes or not len(self._out_nodes):
+                # No primary outputs: nothing is observable, every fault
+                # escapes (the reference crashed here before the guard).
+                return out
+            good, valid = self._sim_state(patterns)
+            roots = self._schedule_roots(classes)
+            for start in range(0, len(roots), self.batch_faults):
+                batch = roots[start : start + self.batch_faults]
+                diff = self._batch_diff(good, valid, batch)
+                bits = np.unpackbits(
+                    diff.view(np.uint8), axis=1, bitorder="little"
+                )
+                for b, key in enumerate(batch):
+                    out[classes[key]] = bits[b, :num_patterns].astype(bool)
             return out
-        good, valid = self._sim_state(patterns)
-        roots = self._schedule_roots(classes)
-        for start in range(0, len(roots), self.batch_faults):
-            batch = roots[start : start + self.batch_faults]
-            diff = self._batch_diff(good, valid, batch)
-            bits = np.unpackbits(diff.view(np.uint8), axis=1, bitorder="little")
-            for b, key in enumerate(batch):
-                out[classes[key]] = bits[b, :num_patterns].astype(bool)
-        return out
 
     def coverage(
         self,

@@ -59,6 +59,7 @@ def synthesize_iddq_testable(
         budget far too small for the circuit.
     """
     config = config or SynthesisConfig()
+    config.runtime.apply_observability()
     library = library or generic_library()
     technology = technology or generic_technology()
     if evaluator is None:

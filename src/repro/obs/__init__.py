@@ -1,0 +1,67 @@
+"""Runtime telemetry: spans, counters and cross-process aggregation.
+
+The unified observability subsystem (DESIGN.md §11).  Everything in
+``src/`` reports through the two process-local singletons here:
+
+>>> from repro.obs import METRICS, TRACER
+>>> with TRACER.span("detection_matrix", circuit="c7552"):
+...     METRICS.inc("backend.full_pass")
+
+Both are disabled by default and near-zero-cost in that state; enable
+with ``REPRO_TRACE=1`` / ``REPRO_METRICS=1`` (the environment crosses
+the worker boundary), :func:`enable`, or the campaign CLI's ``--trace``.
+Workers in :meth:`repro.runtime.executor.Executor.map` capture their
+spans/counters per task and ship a compact snapshot back piggybacked on
+the task result; the parent merges them under stable ``task:<index>``
+sites.  Export with :func:`export_chrome_trace` (Perfetto /
+``chrome://tracing``) or :func:`write_jsonl`; summarize a trace file
+with ``python -m repro.experiments trace-report``.
+
+The subsystem-wide invariant: instrumentation may change how long a run
+takes to describe, **never what it computes** — the equivalence suites
+run bit-identical with telemetry on.
+"""
+
+from repro.obs.core import (
+    METRICS,
+    METRICS_ENV,
+    TRACE_ENV,
+    TRACER,
+    Metrics,
+    Tracer,
+    begin_task_capture,
+    enable,
+    enabled_state,
+    end_task_capture,
+    merge_task_snapshot,
+    metrics_enabled,
+    trace_enabled,
+)
+from repro.obs.report import (
+    load_trace_events,
+    render_trace_report,
+    summarize_trace,
+)
+from repro.obs.sinks import chrome_trace_dict, export_chrome_trace, write_jsonl
+
+__all__ = [
+    "METRICS",
+    "METRICS_ENV",
+    "TRACE_ENV",
+    "TRACER",
+    "Metrics",
+    "Tracer",
+    "begin_task_capture",
+    "chrome_trace_dict",
+    "enable",
+    "enabled_state",
+    "end_task_capture",
+    "export_chrome_trace",
+    "load_trace_events",
+    "merge_task_snapshot",
+    "metrics_enabled",
+    "render_trace_report",
+    "summarize_trace",
+    "trace_enabled",
+    "write_jsonl",
+]

@@ -1,0 +1,169 @@
+"""``trace-report``: a time breakdown rendered from a trace file.
+
+Reads a Chrome trace-event JSON (as written by
+:func:`repro.obs.sinks.export_chrome_trace` — any conforming file
+works) and renders two tables:
+
+* **per span name** — call count, total time, *self* time (total minus
+  enclosed child spans on the same thread lane: the stack is
+  reconstructed from the complete-event intervals, so nested
+  instrumentation is not double-counted) and the share of the report's
+  wall clock;
+* **per site** — one row per thread lane (``main``, ``task:<n>``, …)
+  with its busy time (top-level span coverage), so sharded stages show
+  where worker time went.
+
+Counters stored under ``otherData`` (our own traces) are appended as a
+sorted list.  The module is pure post-processing: it never imports the
+live tracer, so it can digest traces from any run, any process count.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ExperimentError
+
+__all__ = ["load_trace_events", "render_trace_report", "summarize_trace"]
+
+
+def load_trace_events(path: str | Path) -> dict:
+    """Load a Chrome trace JSON document (dict with ``traceEvents``)."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except OSError as exc:
+        raise ExperimentError(f"cannot read trace file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"trace file {path} is not valid JSON: {exc}") from exc
+    if isinstance(document, list):  # bare traceEvents array is also legal
+        document = {"traceEvents": document}
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ExperimentError(
+            f"trace file {path} has no traceEvents (not a Chrome trace?)"
+        )
+    return document
+
+
+def _thread_names(events: list[dict]) -> dict[tuple, str]:
+    names: dict[tuple, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[(event.get("pid"), event.get("tid"))] = str(
+                event.get("args", {}).get("name", "")
+            )
+    return names
+
+
+def summarize_trace(document: dict) -> dict:
+    """Aggregate a trace document into per-name / per-site tables.
+
+    Returns ``{"names": {name: {count, total_us, self_us}},
+    "sites": {site: {spans, busy_us}}, "counters": {...},
+    "span_total_us": float}``.  Self time is computed per (pid, tid)
+    lane with an interval stack over the complete events, so it is
+    exact for properly nested spans (ours are — they come from context
+    managers) and degrades to total time for overlapping foreign ones.
+    """
+    events = [e for e in document.get("traceEvents", []) if isinstance(e, dict)]
+    thread_names = _thread_names(events)
+    lanes: dict[tuple, list[tuple[float, float, str]]] = {}
+    instants: dict[tuple, int] = {}
+    for event in events:
+        lane = (event.get("pid"), event.get("tid"))
+        if event.get("ph") == "X":
+            ts = float(event.get("ts", 0.0))
+            dur = float(event.get("dur", 0.0))
+            lanes.setdefault(lane, []).append((ts, dur, str(event.get("name"))))
+        elif event.get("ph") in ("i", "I"):
+            instants[lane] = instants.get(lane, 0) + 1
+    names: dict[str, dict] = {}
+    sites: dict[str, dict] = {}
+    for lane, spans in lanes.items():
+        site = thread_names.get(lane) or f"pid{lane[0]}.tid{lane[1]}"
+        site_entry = sites.setdefault(site, {"spans": 0, "busy_us": 0.0})
+        # Sort by start, widest first at equal starts: parents precede
+        # their children, so a stack over the intervals recovers the
+        # nesting.  A span's self time starts at its own duration and
+        # loses each direct child's duration at the child's push.
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[tuple[float, str]] = []  # (end_ts, name)
+        for ts, dur, name in spans:
+            entry = names.setdefault(name, {"count": 0, "total_us": 0.0,
+                                            "self_us": 0.0})
+            entry["count"] += 1
+            entry["total_us"] += dur
+            entry["self_us"] += dur
+            site_entry["spans"] += 1
+            while stack and stack[-1][0] <= ts:
+                stack.pop()
+            if stack:
+                names[stack[-1][1]]["self_us"] -= dur
+            else:
+                site_entry["busy_us"] += dur
+            stack.append((ts + dur, name))
+    for lane, count in instants.items():
+        site = thread_names.get(lane) or f"pid{lane[0]}.tid{lane[1]}"
+        sites.setdefault(site, {"spans": 0, "busy_us": 0.0})
+        sites[site]["instants"] = sites[site].get("instants", 0) + count
+    counters = {}
+    other = document.get("otherData")
+    if isinstance(other, dict) and isinstance(other.get("counters"), dict):
+        counters = other["counters"]
+    span_total = sum(e["busy_us"] for e in sites.values())
+    return {
+        "names": names,
+        "sites": sites,
+        "counters": counters,
+        "span_total_us": span_total,
+    }
+
+
+def render_trace_report(path: str | Path, max_counters: int = 40) -> str:
+    """Render the human-readable report for a trace file."""
+    from repro.flow.report import format_table
+
+    summary = summarize_trace(load_trace_events(path))
+    names, sites = summary["names"], summary["sites"]
+    total_us = summary["span_total_us"] or 1.0
+    name_rows = [
+        [
+            name,
+            entry["count"],
+            f"{entry['total_us'] / 1000.0:.2f}",
+            f"{entry['self_us'] / 1000.0:.2f}",
+            f"{100.0 * entry['self_us'] / total_us:.1f}%",
+        ]
+        for name, entry in sorted(
+            names.items(), key=lambda item: -item[1]["self_us"]
+        )
+    ]
+    site_rows = [
+        [
+            site,
+            entry["spans"],
+            entry.get("instants", 0),
+            f"{entry['busy_us'] / 1000.0:.2f}",
+        ]
+        for site, entry in sorted(
+            sites.items(), key=lambda item: -item[1]["busy_us"]
+        )
+    ]
+    sections = [
+        f"trace report: {path}",
+        "",
+        format_table(["span", "count", "total ms", "self ms", "self %"],
+                     name_rows or [["(no spans)", 0, "0", "0", "-"]]),
+        "",
+        format_table(["site", "spans", "instants", "busy ms"],
+                     site_rows or [["(no sites)", 0, 0, "0"]]),
+    ]
+    counters = summary["counters"]
+    if counters:
+        shown = sorted(counters.items())[:max_counters]
+        rows = [[name, value] for name, value in shown]
+        sections += ["", format_table(["counter", "value"], rows)]
+        if len(counters) > len(shown):
+            sections.append(f"... {len(counters) - len(shown)} more counters")
+    return "\n".join(sections)

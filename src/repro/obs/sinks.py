@@ -1,0 +1,152 @@
+"""Structured sinks: JSONL event log and Chrome trace-event export.
+
+Two on-disk formats for one in-memory event list:
+
+* :func:`write_jsonl` — one JSON object per line, append-friendly and
+  greppable: every span and instant event, then one ``counters`` and
+  one ``gauges`` record.  This is the operator log the silent
+  degradation paths (store write failures, quarantines, campaign stage
+  failures) are routed into.
+* :func:`export_chrome_trace` — the Chrome trace-event JSON format
+  (``chrome://tracing`` / Perfetto): spans as ``"ph": "X"`` complete
+  events, instants as ``"ph": "i"``, one process with one named thread
+  per *site* (``main`` plus ``task:<n>`` for worker-attributed events),
+  so a campaign's sharded stages render as parallel swimlanes.
+  Counters ride in ``otherData`` (ignored by viewers, kept for
+  ``trace-report``).
+
+Timestamps are rebased to the earliest event so traces start near zero;
+Chrome wants microseconds (floats are allowed — nanosecond precision
+survives as fractions).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.core import METRICS, TRACER, Metrics, Tracer
+
+__all__ = ["chrome_trace_dict", "export_chrome_trace", "write_jsonl"]
+
+
+def _rebase(events: list[tuple]) -> int:
+    return min((e[2] for e in events), default=0)
+
+
+def write_jsonl(
+    path: str | Path,
+    tracer: Tracer | None = None,
+    metrics: Metrics | None = None,
+) -> Path:
+    """Write the JSONL event log; returns the path written."""
+    tracer = tracer if tracer is not None else TRACER
+    metrics = metrics if metrics is not None else METRICS
+    events = tracer.events()
+    base = _rebase(events)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for kind, name, ts, dur, depth, site, attrs in events:
+            record: dict = {
+                "type": kind,
+                "name": name,
+                "ts_us": (ts - base) / 1000.0,
+                "depth": depth,
+                "site": site,
+            }
+            if kind == "span":
+                record["dur_us"] = dur / 1000.0
+            if attrs:
+                record["attrs"] = attrs
+            handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        counters = metrics.counters()
+        if counters:
+            handle.write(
+                json.dumps({"type": "counters", "counters": counters},
+                           sort_keys=True) + "\n"
+            )
+        gauges = metrics.gauges()
+        if gauges:
+            handle.write(
+                json.dumps({"type": "gauges", "gauges": gauges},
+                           sort_keys=True) + "\n"
+            )
+    return path
+
+
+def _site_tids(events: list[tuple]) -> dict[str, int]:
+    """Stable site -> tid mapping: ``main`` is tid 0, task sites follow
+    in numeric order, anything else alphabetically after."""
+    sites = {site for _, _, _, _, _, site, _ in events}
+    sites.discard("main")
+
+    def order(site: str):
+        if site.startswith("task:"):
+            suffix = site.split(":", 1)[1]
+            if suffix.isdigit():
+                return (0, int(suffix), site)
+        return (1, 0, site)
+
+    tids = {"main": 0}
+    for n, site in enumerate(sorted(sites, key=order), start=1):
+        tids[site] = n
+    return tids
+
+
+def chrome_trace_dict(
+    tracer: Tracer | None = None, metrics: Metrics | None = None
+) -> dict:
+    """The Chrome trace-event document as a dict (see module docstring)."""
+    tracer = tracer if tracer is not None else TRACER
+    metrics = metrics if metrics is not None else METRICS
+    events = tracer.events()
+    base = _rebase(events)
+    tids = _site_tids(events)
+    trace_events: list[dict] = [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+         "args": {"name": "repro"}},
+    ]
+    for site, tid in sorted(tids.items(), key=lambda item: item[1]):
+        trace_events.append(
+            {"ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+             "args": {"name": site}}
+        )
+    for kind, name, ts, dur, depth, site, attrs in events:
+        record: dict = {
+            "name": name,
+            "cat": "repro",
+            "pid": 1,
+            "tid": tids[site],
+            "ts": (ts - base) / 1000.0,
+        }
+        if kind == "span":
+            record["ph"] = "X"
+            record["dur"] = dur / 1000.0
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        if attrs:
+            record["args"] = {k: str(v) for k, v in attrs.items()}
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": metrics.counters(),
+            "gauges": metrics.gauges(),
+        },
+    }
+
+
+def export_chrome_trace(
+    path: str | Path,
+    tracer: Tracer | None = None,
+    metrics: Metrics | None = None,
+) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = chrome_trace_dict(tracer, metrics)
+    path.write_text(json.dumps(document, sort_keys=True) + "\n")
+    return path

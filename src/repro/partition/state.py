@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import PartitionError
 from repro.partition.constraints import (
     ConstraintReport,
@@ -1068,6 +1069,8 @@ class EvaluationState(_StateProtocol):
         costs = np.empty(count, dtype=np.float64)
         if count == 0:
             return costs
+        obs.METRICS.inc("optimize.trial_moves.calls")
+        obs.METRICS.inc("optimize.trial_moves.candidates", count)
         if self._journal is not None:
             raise PartitionError("trial_moves not allowed inside an open trial")
         self._refresh()

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.errors import ExperimentError
 from repro.runtime.artifacts import (
     cached_detection_matrix,
@@ -61,8 +62,13 @@ __all__ = [
 STAGES: tuple[str, ...] = ("separation", "stuck-at", "atpg", "optimize")
 
 #: Schema 2 adds per-entry "status" (ok | failed), optional "error" /
-#: "resumed" fields and the failed/resumed totals.
-MANIFEST_SCHEMA = 2
+#: "resumed" fields and the failed/resumed totals.  Schema 3 adds the
+#: optional per-entry "metrics" dict — the runtime counter deltas the
+#: stage produced (cache hits by kind, executor retries/restarts,
+#: summed worker task seconds), present only when metrics collection is
+#: on (``--trace`` / ``REPRO_METRICS``); with telemetry off, a schema-3
+#: manifest is field-for-field a schema-2 manifest.
+MANIFEST_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -72,7 +78,13 @@ class CampaignConfig:
     ``out`` is the manifest path; setting it enables the incremental
     ``<out>.partial.jsonl`` journal and the atomic manifest write at
     the end.  ``resume`` names a previous manifest (or journal) whose
-    succeeded entries are skipped.
+    succeeded entries are skipped.  ``trace`` names a Chrome
+    trace-event output path; setting it turns on span tracing *and*
+    metrics for the run (workers included — the executor forwards the
+    flags with every task) and writes the merged, worker-attributed
+    trace there at the end.  Tracing never changes computed results:
+    the manifest is identical modulo ``seconds`` and the per-entry
+    ``metrics`` dicts.
     """
 
     circuits: tuple[str, ...] = ("c432", "c880")
@@ -83,6 +95,7 @@ class CampaignConfig:
     quick: bool = True
     out: str | None = None
     resume: str | None = None
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         if not self.circuits:
@@ -280,6 +293,11 @@ def _journal_append(path: Path | None, entry: dict) -> None:
             handle.flush()
             os.fsync(handle.fileno())
     except OSError as exc:
+        obs.TRACER.instant(
+            "campaign.journal_degraded",
+            path=str(path),
+            error=f"{type(exc).__name__}: {exc}",
+        )
         warnings.warn(
             f"campaign journal append failed ({type(exc).__name__}: {exc}); "
             "continuing without checkpoint",
@@ -363,6 +381,8 @@ def run_campaign(config: CampaignConfig) -> dict:
     """
     from repro.netlist.benchmarks import load_iscas85
 
+    if config.trace:
+        obs.enable(trace=True, metrics=True)
     store = ArtifactStore(config.cache_dir)
     jobs = resolve_jobs(config.jobs)
     plan = FaultPlan.from_env()
@@ -399,14 +419,21 @@ def run_campaign(config: CampaignConfig) -> dict:
                 _journal_append(journal, entry)
                 continue
             stage_started = time.perf_counter()
-            if load_error is not None:
-                outcome_error: str | None = f"circuit load failed: {load_error}"
-            else:
-                try:
-                    outcome = _run_stage(ctx, stage, f"{name}/{stage}", plan)
-                    outcome_error = None
-                except Exception as exc:
-                    outcome_error = f"{type(exc).__name__}: {exc}"
+            stage_mark = obs.METRICS.mark()
+            with obs.TRACER.span(
+                "campaign.stage", circuit=name, stage=stage
+            ) as span:
+                if load_error is not None:
+                    outcome_error: str | None = (
+                        f"circuit load failed: {load_error}"
+                    )
+                else:
+                    try:
+                        outcome = _run_stage(ctx, stage, f"{name}/{stage}", plan)
+                        outcome_error = None
+                    except Exception as exc:
+                        outcome_error = f"{type(exc).__name__}: {exc}"
+                span.set(status="failed" if outcome_error else "ok")
             if outcome_error is None:
                 entry = {
                     "circuit": name,
@@ -426,6 +453,17 @@ def run_campaign(config: CampaignConfig) -> dict:
                     "error": outcome_error,
                     "meta": {},
                 }
+                # The structured twin of the manifest's "failed" entry:
+                # the quarantine decision lands in the event log with
+                # the same attribution as the spans around it.
+                obs.TRACER.instant(
+                    "campaign.quarantine",
+                    circuit=name,
+                    stage=stage,
+                    error=outcome_error,
+                )
+            if obs.METRICS.enabled:
+                entry["metrics"] = obs.METRICS.delta_since(stage_mark)
             entries.append(entry)
             _journal_append(journal, entry)
     executed_ok = [
@@ -464,6 +502,10 @@ def run_campaign(config: CampaignConfig) -> dict:
         save_manifest(manifest, config.out)
         if journal is not None:
             journal.unlink(missing_ok=True)
+    if config.trace:
+        from repro.obs.sinks import export_chrome_trace
+
+        export_chrome_trace(config.trace)
     return manifest
 
 

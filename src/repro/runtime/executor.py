@@ -66,11 +66,15 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from dataclasses import asdict, dataclass
+
+from repro import obs
 from repro.errors import TaskError, TaskTimeoutError
 from repro.runtime.faults import FaultPlan, inject_task_fault
 
 __all__ = [
     "Executor",
+    "ExecutorStats",
     "resolve_jobs",
     "resolve_task_retries",
     "resolve_task_timeout",
@@ -100,6 +104,58 @@ _IN_WORKER = False
 
 #: Sentinel for a result slot not yet filled.
 _PENDING = object()
+
+
+@dataclass
+class ExecutorStats:
+    """Public recovery bookkeeping, cumulative across :meth:`Executor.map`
+    calls on one executor.
+
+    Every count was previously computed and discarded inside the gather
+    loop; surfacing it makes recovery behaviour assertable by tests and
+    visible to operators.  The same counts are mirrored into the
+    :data:`repro.obs.METRICS` registry (``executor.*``) when metrics are
+    enabled — this dataclass is the always-on, executor-local view.
+
+    Attributes:
+        retries: task re-dispatches charged to the per-task retry budget
+            (transient exceptions and timeouts with budget remaining).
+        timeouts: tasks that ran past ``task_timeout`` (whether or not
+            budget remained to retry them).
+        pool_restarts: fresh pools built after a worker death or a
+            deadline teardown.
+        serial_fallbacks: times a ``map`` degraded to the in-process
+            serial path (pool infrastructure failure or restart budget
+            exhausted).
+        tasks_recovered: completed-or-failed task slots stranded by a
+            broken pool and re-dispatched on a later pool (no retry
+            budget charged — the culprit is unknowable).
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    serial_fallbacks: int = 0
+    tasks_recovered: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class _TaskResult:
+    """A successful task value plus its telemetry snapshot.
+
+    Only built in workers when the parent asked for capture; the parent
+    unwraps it during the gather, merges the snapshot under the task's
+    stable site and hands callers the bare value — consumers of
+    :meth:`Executor.map` never see the carrier.
+    """
+
+    __slots__ = ("value", "snapshot")
+
+    def __init__(self, value, snapshot):
+        self.value = value
+        self.snapshot = snapshot
 
 
 class _TaskError:
@@ -148,13 +204,34 @@ def _init_worker(state_factory) -> None:
     _WORKER_STATE = state_factory() if state_factory is not None else None
 
 
-def _invoke(fn, task, index, attempt, plan_spec):
+def _invoke(fn, task, index, attempt, plan_spec, obs_spec):
+    """Run one task in a worker; ``obs_spec`` is the parent's
+    ``(trace, metrics)`` enablement, forwarded with the task so
+    programmatic enabling reaches workers that did not inherit an
+    environment flag.  On success the captured telemetry rides back
+    with the value; a failed attempt's capture is discarded, keeping
+    the merged telemetry a deterministic one-snapshot-per-task set.
+    """
+    token = obs.begin_task_capture(*obs_spec) if obs_spec else None
+    started = time.perf_counter()
     try:
-        if plan_spec:
-            inject_task_fault(FaultPlan.parse(plan_spec), index, attempt, _IN_WORKER)
-        return fn(_WORKER_STATE, task)
+        with obs.TRACER.span(
+            "executor.task", index=index, attempt=attempt, pid=os.getpid()
+        ):
+            if plan_spec:
+                inject_task_fault(
+                    FaultPlan.parse(plan_spec), index, attempt, _IN_WORKER
+                )
+            value = fn(_WORKER_STATE, task)
     except Exception as exc:  # noqa: BLE001 - transported to the parent
+        if token is not None:
+            obs.end_task_capture(token)
         return _TaskError(exc)
+    if token is None:
+        return value
+    obs.METRICS.inc("executor.task_seconds", time.perf_counter() - started)
+    obs.METRICS.inc("executor.tasks")
+    return _TaskResult(value, obs.end_task_capture(token))
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -257,6 +334,7 @@ class Executor:
         self.fault_plan = (
             fault_plan if fault_plan is not None else FaultPlan.from_env()
         )
+        self.stats = ExecutorStats()
 
     @property
     def serial(self) -> bool:
@@ -282,22 +360,35 @@ class Executor:
         if not tasks:
             return []
         results: list = [_PENDING] * len(tasks)
-        if self.serial or len(tasks) == 1:
-            self._run_serial(fn, tasks, state_factory, range(len(tasks)), results)
-            return results
-        try:
-            pickle.dumps((fn, state_factory))
-        except Exception as exc:  # noqa: BLE001 - anything unpicklable
-            # fn/state can't cross the process boundary at all: nothing
-            # was dispatched, so the serial run is the first execution.
-            self._warn_fallback(exc)
-            self._run_serial(fn, tasks, state_factory, range(len(tasks)), results)
-            return results
-        return self._run_parallel(fn, tasks, state_factory, results)
+        with obs.TRACER.span(
+            "executor.map", tasks=len(tasks), jobs=self.jobs
+        ) as span:
+            if self.serial or len(tasks) == 1:
+                span.set(mode="serial")
+                self._run_serial(
+                    fn, tasks, state_factory, range(len(tasks)), results
+                )
+                return results
+            try:
+                pickle.dumps((fn, state_factory))
+            except Exception as exc:  # noqa: BLE001 - anything unpicklable
+                # fn/state can't cross the process boundary at all: nothing
+                # was dispatched, so the serial run is the first execution.
+                self._warn_fallback(exc)
+                self._run_serial(
+                    fn, tasks, state_factory, range(len(tasks)), results
+                )
+                return results
+            return self._run_parallel(fn, tasks, state_factory, results)
 
     # ---------------------------------------------------------------- internal
-    @staticmethod
-    def _warn_fallback(cause: BaseException) -> None:
+    def _warn_fallback(self, cause: BaseException) -> None:
+        self.stats.serial_fallbacks += 1
+        obs.METRICS.inc("executor.serial_fallbacks")
+        obs.TRACER.instant(
+            "executor.serial_fallback",
+            cause=f"{type(cause).__name__}: {cause}",
+        )
         warnings.warn(
             f"process pool unavailable ({type(cause).__name__}: {cause}); "
             "falling back to the serial executor",
@@ -325,23 +416,30 @@ class Executor:
             attempt = 0
             while True:
                 try:
-                    if plan:
-                        inject_task_fault(plan, i, attempt, in_worker=False)
-                    results[i] = fn(state, tasks[i])
+                    with obs.TRACER.span("executor.task", index=i,
+                                         attempt=attempt):
+                        if plan:
+                            inject_task_fault(plan, i, attempt, in_worker=False)
+                        results[i] = fn(state, tasks[i])
                     break
                 except Exception:
                     if attempt >= self.task_retries:
                         raise
                     attempt += 1
+                    self.stats.retries += 1
+                    obs.METRICS.inc("executor.retries")
+                    obs.TRACER.instant("executor.retry", task=i, attempt=attempt)
                     self._backoff(attempt)
 
     def _run_parallel(self, fn, tasks, state_factory, results) -> list:
         attempts = [0] * len(tasks)
         pending = list(range(len(tasks)))
         restarts = 0
+        stranded: set[int] = set()
         while pending:
             try:
-                completed, failed, timed_out, unfinished, broken = self._run_round(
+                (completed, failed, timed_out, unfinished, broken,
+                 snapshots) = self._run_round(
                     fn, tasks, state_factory, pending, attempts
                 )
             except _PoolUnavailable as infra:
@@ -352,21 +450,38 @@ class Executor:
                 return results
             for i, value in completed.items():
                 results[i] = value
+                if i in stranded:
+                    self.stats.tasks_recovered += 1
+                    obs.METRICS.inc("executor.tasks_recovered")
+            # Merge successful-attempt snapshots in task order: exactly
+            # one per task ever merges, so the aggregated telemetry is
+            # deterministic at any worker count or failure pattern.
+            for i in sorted(snapshots):
+                obs.merge_task_snapshot(snapshots[i], i)
             next_pending: list[int] = []
             retried = 0
             for i, error in failed.items():
                 attempts[i] += 1
                 if attempts[i] > self.task_retries:
                     error.reraise()
+                self.stats.retries += 1
+                obs.METRICS.inc("executor.retries")
+                obs.TRACER.instant("executor.retry", task=i, attempt=attempts[i])
                 retried = max(retried, attempts[i])
                 next_pending.append(i)
             if timed_out is not None:
                 attempts[timed_out] += 1
+                self.stats.timeouts += 1
+                obs.METRICS.inc("executor.timeouts")
+                obs.TRACER.instant("executor.timeout", task=timed_out,
+                                   attempt=attempts[timed_out])
                 if attempts[timed_out] > self.task_retries:
                     raise TaskTimeoutError(
                         f"task {timed_out} exceeded the {self.task_timeout}s "
                         f"deadline on attempt {attempts[timed_out]}"
                     )
+                self.stats.retries += 1
+                obs.METRICS.inc("executor.retries")
                 retried = max(retried, attempts[timed_out])
                 next_pending.append(timed_out)
             for i in unfinished:
@@ -374,6 +489,7 @@ class Executor:
                 # see progress) but charge no retry budget: the worker
                 # death that stranded these tasks names no culprit.
                 attempts[i] += 1
+                stranded.add(i)
                 next_pending.append(i)
             if broken or timed_out is not None:
                 restarts += 1
@@ -387,7 +503,18 @@ class Executor:
                     self._run_serial(
                         fn, tasks, state_factory, sorted(next_pending), results
                     )
+                    recovered = len(stranded.intersection(next_pending))
+                    self.stats.tasks_recovered += recovered
+                    obs.METRICS.inc("executor.tasks_recovered", recovered)
                     return results
+                self.stats.pool_restarts += 1
+                obs.METRICS.inc("executor.pool_restarts")
+                obs.TRACER.instant(
+                    "executor.pool_restart",
+                    round=restarts,
+                    pending=len(next_pending),
+                    broken=broken,
+                )
             if retried:
                 self._backoff(retried)
             pending = sorted(next_pending)
@@ -396,21 +523,35 @@ class Executor:
     def _run_round(self, fn, tasks, state_factory, indices, attempts):
         """One pool lifetime: submit ``indices``, gather what finishes.
 
-        Returns ``(completed, failed, timed_out, unfinished, broken)``:
-        values by index, task-raised :class:`_TaskError` by index, the
-        index of the first task past its deadline (or ``None``), the
-        indices whose fate is unknown (worker died / round abandoned),
-        and whether the pool broke.  Raises :class:`_PoolUnavailable`
-        only for errors no task can produce (fork failure, payload
-        pickling) — a bug inside ``fn`` can never take that exit.
+        Returns ``(completed, failed, timed_out, unfinished, broken,
+        snapshots)``: values by index, task-raised :class:`_TaskError`
+        by index, the index of the first task past its deadline (or
+        ``None``), the indices whose fate is unknown (worker died /
+        round abandoned), whether the pool broke, and the telemetry
+        snapshots of the completed tasks by index.  Raises
+        :class:`_PoolUnavailable` only for errors no task can produce
+        (fork failure, payload pickling) — a bug inside ``fn`` can
+        never take that exit.
         """
         workers = min(self.jobs, len(indices))
         plan_spec = self.fault_plan.spec if self.fault_plan else ""
+        obs_spec = obs.enabled_state() if any(obs.enabled_state()) else None
         completed: dict[int, object] = {}
         failed: dict[int, _TaskError] = {}
+        snapshots: dict[int, dict | None] = {}
         unfinished: list[int] = []
         timed_out: int | None = None
         broken = False
+
+        def harvest(i: int, value) -> None:
+            if isinstance(value, _TaskError):
+                failed[i] = value
+                return
+            if isinstance(value, _TaskResult):
+                snapshots[i] = value.snapshot
+                value = value.value
+            completed[i] = value
+
         try:
             pool = ProcessPoolExecutor(
                 max_workers=workers,
@@ -422,7 +563,9 @@ class Executor:
         try:
             try:
                 futures = {
-                    i: pool.submit(_invoke, fn, tasks[i], i, attempts[i], plan_spec)
+                    i: pool.submit(
+                        _invoke, fn, tasks[i], i, attempts[i], plan_spec, obs_spec
+                    )
                     for i in indices
                 }
             except (OSError, RuntimeError) as exc:
@@ -438,9 +581,7 @@ class Executor:
                         except Exception:  # noqa: BLE001 - infra error
                             unfinished.append(i)
                             continue
-                        (failed if isinstance(value, _TaskError) else completed)[
-                            i
-                        ] = value
+                        harvest(i, value)
                     else:
                         unfinished.append(i)
                     continue
@@ -458,11 +599,9 @@ class Executor:
                     # genuine task bug.
                     raise _PoolUnavailable(exc) from exc
                 else:
-                    (failed if isinstance(value, _TaskError) else completed)[
-                        i
-                    ] = value
+                    harvest(i, value)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
             if broken or timed_out is not None:
                 _terminate_pool_processes(pool)
-        return completed, failed, timed_out, unfinished, broken
+        return completed, failed, timed_out, unfinished, broken, snapshots

@@ -41,6 +41,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.runtime.executor import Executor
 
 __all__ = [
@@ -86,26 +87,33 @@ def sharded_detection_matrix(
     executor = Executor(jobs)
     if executor.serial or len(faults) <= 1:
         return StuckAtSimulator(circuit, backend).detection_matrix(faults, patterns)
-    # Warm shared compiled-graph caches before forking so every worker
-    # inherits them instead of rebuilding (slot closures are cached on
-    # the CompiledGraph instance itself).
-    circuit.compiled.slot_closure()
-    faults = list(faults)
-    # ~4 shards per worker for load balance: fault cones vary in size.
-    shard = max(1, -(-len(faults) // (executor.jobs * 4)))
-    tasks = [
-        (start, min(start + shard, len(faults)))
-        for start in range(0, len(faults), shard)
-    ]
-    results = executor.map(
-        _stuck_shard,
-        tasks,
-        state_factory=partial(_stuck_state, circuit, faults, patterns, backend),
-    )
-    out = np.zeros((len(faults), patterns.shape[0]), dtype=np.bool_)
-    for start, submatrix in results:
-        out[start : start + submatrix.shape[0]] = submatrix
-    return out
+    with obs.TRACER.span(
+        "driver.detection_matrix",
+        circuit=circuit.name,
+        faults=len(faults),
+        patterns=int(patterns.shape[0]),
+        jobs=executor.jobs,
+    ):
+        # Warm shared compiled-graph caches before forking so every worker
+        # inherits them instead of rebuilding (slot closures are cached on
+        # the CompiledGraph instance itself).
+        circuit.compiled.slot_closure()
+        faults = list(faults)
+        # ~4 shards per worker for load balance: fault cones vary in size.
+        shard = max(1, -(-len(faults) // (executor.jobs * 4)))
+        tasks = [
+            (start, min(start + shard, len(faults)))
+            for start in range(0, len(faults), shard)
+        ]
+        results = executor.map(
+            _stuck_shard,
+            tasks,
+            state_factory=partial(_stuck_state, circuit, faults, patterns, backend),
+        )
+        out = np.zeros((len(faults), patterns.shape[0]), dtype=np.bool_)
+        for start, submatrix in results:
+            out[start : start + submatrix.shape[0]] = submatrix
+        return out
 
 
 # ---------------------------------------------------------------------- ATPG
@@ -169,16 +177,22 @@ def defect_parallel_targeted(
         for d in undetected
     ]
     executor = Executor(jobs)
-    if not executor.serial:
-        circuit.compiled  # warm before fork
-    results = executor.map(
-        _atpg_search,
-        tasks,
-        state_factory=partial(
-            _atpg_state, circuit, partition, library, technology, backend_name
-        ),
-    )
-    return {index: vector for index, vector in results if vector is not None}
+    with obs.TRACER.span(
+        "driver.defect_targeted",
+        circuit=circuit.name,
+        defects=len(tasks),
+        jobs=executor.jobs,
+    ):
+        if not executor.serial:
+            circuit.compiled  # warm before fork
+        results = executor.map(
+            _atpg_search,
+            tasks,
+            state_factory=partial(
+                _atpg_state, circuit, partition, library, technology, backend_name
+            ),
+        )
+        return {index: vector for index, vector in results if vector is not None}
 
 
 # ----------------------------------------------------------------- portfolio
@@ -242,6 +256,10 @@ def portfolio_runs(
     tasks = [
         (seed, evolution_params, annealing_params, kl_passes) for seed in seeds
     ]
-    return Executor(jobs).map(
-        _portfolio_run, tasks, state_factory=partial(_portfolio_state, evaluator)
-    )
+    executor = Executor(jobs)
+    with obs.TRACER.span(
+        "driver.portfolio_runs", seeds=len(tasks), jobs=executor.jobs
+    ):
+        return executor.map(
+            _portfolio_run, tasks, state_factory=partial(_portfolio_state, evaluator)
+        )

@@ -43,6 +43,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.runtime.faults import FaultPlan, corrupt_file
 
 __all__ = ["Artifact", "ArtifactStore", "default_cache_dir"]
@@ -96,7 +97,14 @@ class Artifact:
 
 @dataclass
 class StoreStats:
-    """Hit/miss/put counters, per kind and total."""
+    """Hit/miss/put counters, per kind and total.
+
+    The attributes and ``by_kind`` dict are the stable, always-on view;
+    every bump is mirrored into the process-wide
+    :data:`repro.obs.METRICS` registry (``store.<slot>`` and
+    ``store.<slot>.<kind>``) when metrics are enabled, which is where
+    the campaign manifest's per-entry cache metrics come from.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -109,6 +117,8 @@ class StoreStats:
         entry = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0, "puts": 0})
         entry[slot] += 1
         setattr(self, slot, getattr(self, slot) + 1)
+        obs.METRICS.inc(f"store.{slot}")
+        obs.METRICS.inc(f"store.{slot}.{kind}")
 
 
 class ArtifactStore:
@@ -172,6 +182,11 @@ class ArtifactStore:
                     continue
                 path.rename(target)
                 self.stats.quarantined += 1
+                obs.METRICS.inc("store.quarantined")
+                obs.TRACER.instant(
+                    "store.quarantine", kind=kind, source=str(path),
+                    quarantined_to=str(target),
+                )
                 return target
         except OSError:
             pass
@@ -183,31 +198,37 @@ class ArtifactStore:
         including digest mismatches when ``verify`` is on — count as
         misses and are quarantined)."""
         path = self.path_for(kind, key)
-        if not path.is_file():
-            self.stats._bump(kind, "misses")
-            return None
-        try:
-            with np.load(path, allow_pickle=False) as payload:
-                arrays = {
-                    name: payload[name]
-                    for name in payload.files
-                    if name not in (_META_KEY, _DIGEST_KEY)
-                }
-                meta_json = str(payload[_META_KEY])
-                meta = json.loads(meta_json)
-                if self.verify and _DIGEST_KEY in payload.files:
-                    stored = str(payload[_DIGEST_KEY])
-                    if _payload_digest(arrays, meta_json) != stored:
-                        raise _DigestMismatch(path)
-        except (OSError, ValueError, KeyError, json.JSONDecodeError,
-                zipfile.BadZipFile, _DigestMismatch):
-            # A half-written, foreign or bit-rotted file: set it aside
-            # and rebuild.
-            self._quarantine(path, kind)
-            self.stats._bump(kind, "misses")
-            return None
-        self.stats._bump(kind, "hits")
-        return Artifact(kind=kind, key=key, arrays=arrays, meta=meta)
+        with obs.TRACER.span("store.get", kind=kind, key=key[:8]) as span:
+            if not path.is_file():
+                self.stats._bump(kind, "misses")
+                span.set(outcome="miss")
+                return None
+            try:
+                with np.load(path, allow_pickle=False) as payload:
+                    arrays = {
+                        name: payload[name]
+                        for name in payload.files
+                        if name not in (_META_KEY, _DIGEST_KEY)
+                    }
+                    meta_json = str(payload[_META_KEY])
+                    meta = json.loads(meta_json)
+                    if self.verify and _DIGEST_KEY in payload.files:
+                        stored = str(payload[_DIGEST_KEY])
+                        if _payload_digest(arrays, meta_json) != stored:
+                            obs.METRICS.inc("store.digest_mismatches")
+                            raise _DigestMismatch(path)
+                        obs.METRICS.inc("store.digest_verified")
+            except (OSError, ValueError, KeyError, json.JSONDecodeError,
+                    zipfile.BadZipFile, _DigestMismatch) as exc:
+                # A half-written, foreign or bit-rotted file: set it aside
+                # and rebuild.
+                self._quarantine(path, kind)
+                self.stats._bump(kind, "misses")
+                span.set(outcome="corrupt", error=type(exc).__name__)
+                return None
+            self.stats._bump(kind, "hits")
+            span.set(outcome="hit")
+            return Artifact(kind=kind, key=key, arrays=arrays, meta=meta)
 
     def put(
         self,
@@ -233,15 +254,16 @@ class ArtifactStore:
         payload[_META_KEY] = np.asarray(meta_json)
         payload[_DIGEST_KEY] = np.asarray(digest)
         path = self.path_for(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, **payload)
-            os.replace(tmp, path)
-        except BaseException:
-            Path(tmp).unlink(missing_ok=True)
-            raise
+        with obs.TRACER.span("store.put", kind=kind, key=key[:8]):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(handle, **payload)
+                os.replace(tmp, path)
+            except BaseException:
+                Path(tmp).unlink(missing_ok=True)
+                raise
         self.stats._bump(kind, "puts")
         ordinal = self._put_ordinal
         self._put_ordinal += 1
@@ -272,6 +294,11 @@ class ArtifactStore:
             self.put(kind, key, arrays, meta)
         except OSError as exc:
             self.stats.put_errors += 1
+            obs.METRICS.inc("store.put_errors")
+            obs.TRACER.instant(
+                "store.degraded", kind=kind, key=key[:8],
+                error=f"{type(exc).__name__}: {exc}",
+            )
             warnings.warn(
                 f"artifact store write failed for {kind}/{key[:8]} "
                 f"({type(exc).__name__}: {exc}); continuing without cache",

@@ -1,0 +1,25 @@
+"""Shared fixture: isolated tracer/metrics state per test.
+
+The observability singletons are process-wide; every test here runs
+against a reset, disabled pair and restores the pre-test state on the
+way out, so obs tests cannot leak enablement into the rest of the
+suite (or inherit it from a ``REPRO_TRACE=1`` environment).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    saved = obs.enabled_state()
+    obs.enable(trace=False, metrics=False)
+    obs.TRACER.reset()
+    obs.METRICS.reset()
+    yield
+    obs.enable(trace=saved[0], metrics=saved[1])
+    obs.TRACER.reset()
+    obs.METRICS.reset()

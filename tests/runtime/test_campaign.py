@@ -20,7 +20,7 @@ from repro.runtime.artifacts import (
     cached_iddq_test_set,
     cached_separation_matrix,
 )
-from repro.runtime.campaign import CampaignConfig, run_campaign
+from repro.runtime.campaign import MANIFEST_SCHEMA, CampaignConfig, run_campaign
 from repro.runtime.store import ArtifactStore
 
 
@@ -178,7 +178,7 @@ class TestCampaignCLI:
         )
         assert code == 0
         manifest = json.loads(out.read_text())
-        assert manifest["schema"] == 2
+        assert manifest["schema"] == MANIFEST_SCHEMA
         assert [e["stage"] for e in manifest["entries"]] == [
             "separation",
             "stuck-at",

@@ -22,6 +22,7 @@ from repro.errors import (
 from repro.faultsim.patterns import random_patterns
 from repro.faultsim.stuck_at import enumerate_stuck_at_faults
 from repro.runtime.campaign import (
+    MANIFEST_SCHEMA,
     CampaignConfig,
     journal_path,
     load_resume_entries,
@@ -390,7 +391,7 @@ class TestCampaignFaults:
         # Successful save writes the manifest and retires the journal.
         assert out.exists() and not journal.exists()
         saved = json.loads(out.read_text())
-        assert saved["schema"] == 2
+        assert saved["schema"] == MANIFEST_SCHEMA
         assert saved["totals"]["resumed"] == 2
 
     def test_resume_from_completed_manifest_executes_nothing(
