@@ -36,9 +36,11 @@ from repro.partition.evaluator import PartitionEvaluator
 #: Cross-test scratch (pytest runs the file top to bottom).
 _RECORDED: dict = {}
 
-#: Asserted floors — see module docstring.
+#: Asserted floors — see module docstring.  The incremental-step floor
+#: was relaxed from 3.0: the current runner measures 2.7-3.x on an
+#: unmodified checkout, so 3.0 asserted on machine noise.
 FUSED_FULL_SIM_FLOOR = 1.1
-INCREMENTAL_STEP_FLOOR = 3.0
+INCREMENTAL_STEP_FLOOR = 2.5
 
 
 @pytest.fixture(scope="module")

@@ -173,11 +173,17 @@ class SeparationMatrix:
             # Lazy 8x-size float64 copy: only optimisers hammering the
             # batched gain kernel pay for it, one-shot evaluations don't.
             self._matrix_f64 = self.matrix.astype(np.float64)
-        # One dgemm over the whole matrix beats gathering float64 rows
-        # for a large (possibly duplicated) candidate set; the row
-        # select afterwards is tiny.  Exact-integer float sums; the
-        # int64 assignment is lossless.
-        out[:] = (self._matrix_f64 @ indicator)[gates]
+        # Both branches compute exact-integer float sums (lossless int64
+        # assignment), so they are bit-identical; the split is purely a
+        # FLOP count choice.  Small candidate sets (annealing blocks, KL
+        # swap pools) gather their unique rows and run a (U, n) x (n, K)
+        # matmul; large ones amortise one dgemm over the whole matrix,
+        # which beats per-row gathering once U approaches n.
+        unique, inverse = np.unique(gates, return_inverse=True)
+        if unique.size * 16 < self.matrix.shape[0]:
+            out[:] = (self._matrix_f64[unique] @ indicator)[inverse]
+        else:
+            out[:] = (self._matrix_f64 @ indicator)[gates]
         return out
 
 

@@ -495,6 +495,18 @@ class IncrementalTiming:
         the base arrivals.  ``arrival``/``delays`` are read-only; the
         result is bit-identical to running :meth:`update` plus
         ``arrival.max()`` per candidate.
+
+        Rows may override any number of gates (multi-gate override
+        columns: a swap writes two exchanged entries, a module retune
+        writes the whole membership).  An entry equal to the base delay
+        is a no-op *for its row only* — the candidate cone is the union
+        of every row's changed columns, but each row's scratch carries
+        its own values — so heterogeneous candidates (different module
+        pairs) can share one union column set and still score
+        bit-identically to separate per-group calls.  The batched
+        optimizer kernels (``trial_moves``/``trial_swaps``) lean on
+        exactly this to merge scattered candidate pools into one
+        stacked sweep.
         """
         count = overrides.shape[0]
         if count == 0:

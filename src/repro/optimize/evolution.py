@@ -21,9 +21,18 @@ scored by applying its mutation moves to the parent's live
 :class:`~repro.partition.state.EvaluationState` inside a trial — only
 the touched modules are re-evaluated (§4.2: "costs are recomputed just
 for the modified modules ... the partitions generated this way can be
-evaluated very efficiently") — and rolling back exactly.  No state is
-cloned per candidate; only the μ selection survivors materialise a
-state (cheap dense-array copy plus a replay of the recorded moves).
+evaluated very efficiently") — and rolling back exactly.  Children
+whose mutation collapsed to a *single* move (the common case at small
+step widths) defer scoring: once all of a parent's children are drawn,
+they ride one
+:meth:`~repro.partition.state.EvaluationState.trial_moves` batch
+against the parent's state.  Proposal drawing consumes the RNG and
+scoring doesn't, so deferral leaves the draw sequence — and, because
+the batched kernel is bit-identical to ``trial_cost``, every child
+cost and selection outcome — exactly as the per-child trials produced.
+No state is cloned per candidate; only the μ selection survivors
+materialise a state (cheap dense-array copy plus a replay of the
+recorded moves).
 The boundary-gate and connected-target queries the mutation operator
 leans on are batched CSR scans over the compiled graph (see DESIGN.md),
 so mutation cost stays proportional to module size, not circuit size.
@@ -38,6 +47,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.config import EvolutionParams
 from repro.errors import OptimizationError
 from repro.optimize.result import GenerationRecord, OptimizationResult
@@ -54,7 +64,7 @@ class _Individual:
     evaluation state (parents) or a recorded mutation relative to the
     parent's state (unselected children never materialise one)."""
 
-    cost: float
+    cost: float | None  # None = single-move child awaiting batch scoring
     step: float
     age: int = 0
     state: object | None = None
@@ -128,10 +138,27 @@ class EvolutionOptimizer:
         for generation in range(1, params.generations + 1):
             children: list[_Individual] = []
             for parent in parents:
+                deferred: list[_Individual] = []
                 for _ in range(params.children_per_parent):
                     children.append(self._mutated_child(parent))
+                    if children[-1].cost is None:
+                        deferred.append(children[-1])
                 for _ in range(params.monte_carlo_per_parent):
                     children.append(self._monte_carlo_child(parent))
+                    if children[-1].cost is None:
+                        deferred.append(children[-1])
+                if deferred:
+                    # All single-move children of this parent share one
+                    # batched gain-kernel call (scores bit-identical to
+                    # their individual trials).
+                    costs = parent.state.trial_moves(
+                        [child.moves[0][0] for child in deferred],
+                        [child.moves[0][1] for child in deferred],
+                        params.penalty,
+                    )
+                    obs.METRICS.inc("optimizer.batch.size", len(deferred))
+                    for child, cost in zip(deferred, costs):
+                        child.cost = float(cost)
             evaluations += len(children)
 
             for parent in parents:
@@ -206,7 +233,9 @@ class EvolutionOptimizer:
                         target = rng.choice(targets)
                         state.move_gate(gate, target)
                         moves.append((gate, target))
-        cost = state.penalized_cost(self.params.penalty)
+        # Single-move children defer to the parent's batched scoring
+        # call in ``run`` (their trial state is just parent + one move).
+        cost = None if len(moves) == 1 else state.penalized_cost(self.params.penalty)
         state.rollback()
         return _Individual(cost, step=step, parent_state=state, moves=moves)
 
@@ -226,7 +255,7 @@ class EvolutionOptimizer:
             block = rng.sample(gates, count)
             state.move_gates(block, target)
             moves.extend((gate, target) for gate in block)
-        cost = state.penalized_cost(self.params.penalty)
+        cost = None if len(moves) == 1 else state.penalized_cost(self.params.penalty)
         state.rollback()
         return _Individual(cost, step=step, parent_state=state, moves=moves)
 

@@ -161,6 +161,25 @@ class _StateProtocol:
             self.rollback()
         return costs
 
+    def trial_swaps(
+        self, gates_a: Sequence[int], gates_b: Sequence[int], penalty: float
+    ) -> np.ndarray:
+        """Penalised cost of each two-gate *swap* candidate — gate ``a``
+        moves into ``b``'s module and ``b`` into ``a``'s — evaluated
+        independently from the current state (generic trial/rollback
+        loop; the dense state overrides this with the batched kernel).
+        ``a``'s module must hold at least two gates, or the first move
+        of the exchange would delete it."""
+        costs = np.empty(len(gates_a), dtype=np.float64)
+        for i, (a, b) in enumerate(zip(gates_a, gates_b)):
+            a, b = int(a), int(b)
+            partition = self.partition  # rollback may swap the object
+            module_a = partition.module_of(a)
+            module_b = partition.module_of(b)
+            costs[i] = self.trial_cost([(a, module_b), (b, module_a)], penalty)
+            self.rollback()
+        return costs
+
     def committed_moves(self) -> list[tuple[int, int]]:
         """The (gate, target) sequence of every committed move so far —
         rolled-back trial moves are erased.  Equivalence tests compare
@@ -1191,11 +1210,34 @@ class EvaluationState(_StateProtocol):
             keys = src_modules * np.int64(partition._next_id) + targets
             order = np.argsort(keys, kind="stable")
             boundaries = np.nonzero(np.diff(keys[order]))[0] + 1
-            for group in np.split(order, boundaries):
+            groups = np.split(order, boundaries)
+            # Scattered batches (random annealing blocks, KL pools) land
+            # roughly one candidate per module pair, so per-pair calls
+            # degrade to C=1 sweeps and nothing stacks.  Merging every
+            # group into one call over the union column set restores the
+            # stacking: a candidate's entries outside its own pair carry
+            # the base delays, which retime_batch treats as no-op
+            # overrides, so the merged sweep stays bit-identical to the
+            # per-pair calls while amortising one cone sweep over the
+            # whole batch.  Dense batches (neighbourhood scans) keep the
+            # per-pair calls and their tighter cones.
+            merged_over = None
+            if len(groups) * 8 > count:
+                touched_modules = np.unique(np.concatenate([src_modules, targets]))
+                # Memberships are disjoint sorted runs, so one sort (no
+                # dedup) yields the sorted union column set.
+                all_cols = np.sort(
+                    np.concatenate([self._members[int(m)] for m in touched_modules])
+                )
+                merged_over = np.empty((count, all_cols.size), dtype=np.float64)
+                merged_over[:] = delays[all_cols][None, :]
+            for group in groups:
                 src_members = self._members[int(src_modules[group[0]])]
                 tgt_members = self._members[int(targets[group[0]])]
                 group_dying = bool(dying[group[0]])
                 cols = np.concatenate([src_members, tgt_members])
+                if merged_over is not None:
+                    col_pos = np.searchsorted(all_cols, cols)
                 n_s = src_members.size
                 for lo in range(0, len(group), 192):
                     chunk = group[lo : lo + 192]
@@ -1240,8 +1282,20 @@ class EvaluationState(_StateProtocol):
                     over[
                         np.arange(chunk.size), np.searchsorted(src_members, moved)
                     ] = nominal[moved] * (1.0 + delta_moved)
-                    d_bic[chunk] = incremental.retime_batch(
-                        arrival, delays, cols, over, block_max=block_max
+                    if merged_over is not None:
+                        merged_over[chunk[:, None], col_pos[None, :]] = over
+                    else:
+                        d_bic[chunk] = incremental.retime_batch(
+                            arrival, delays, cols, over, block_max=block_max
+                        )
+            if merged_over is not None:
+                for lo in range(0, count, 192):
+                    d_bic[lo : lo + 192] = incremental.retime_batch(
+                        arrival,
+                        delays,
+                        all_cols,
+                        merged_over[lo : lo + 192],
+                        block_max=block_max,
                     )
         else:
             self._delay_term_loop(
@@ -1314,6 +1368,355 @@ class EvaluationState(_StateProtocol):
                 (np.append(members, gate), tgt_act[i], tgt_rs[i], tgt_cs[i])
             )
             for module_gates, act_row, rs_i, cs_i in sides:
+                if ctx.time_resolved_degradation:
+                    n = times.max_in_profile(module_gates, act_row)
+                else:
+                    n = float(act_row.max())
+                delta = ctx.degradation.delta(
+                    n,
+                    rs_i,
+                    cs_i,
+                    electricals.output_cap_ff[module_gates],
+                    electricals.pulldown_res_ohm[module_gates],
+                )
+                fresh = nominal[module_gates] * (1.0 + delta)
+                diff = fresh != delays[module_gates]
+                if diff.any():
+                    idx = module_gates[diff]
+                    saved.append((idx, delays[idx].copy()))
+                    delays[idx] = fresh[diff]
+                    seeds.append(idx)
+            if seeds:
+                touched, old = incremental.update(
+                    arrival, delays, np.concatenate(seeds)
+                )
+                d_bic[i] = arrival.max()
+                if touched.size:
+                    arrival[touched] = old
+                for idx, old_delays in saved:
+                    delays[idx] = old_delays
+            else:
+                d_bic[i] = self._dbic
+
+    # ------------------------------------------------------------ swap kernel
+    def trial_swaps(
+        self, gates_a: Sequence[int], gates_b: Sequence[int], penalty: float
+    ) -> np.ndarray:
+        """Batched swap kernel: the penalised cost of every candidate
+        two-gate exchange ``(a -> module(b), b -> module(a))``, each
+        evaluated independently from the current state.
+
+        The structure mirrors :meth:`trial_moves`, with both touched
+        modules losing one gate and gaining another: stage 1 applies the
+        two moves' deltas in the sequential per-move order (so every
+        float operation matches ``trial_cost`` byte for byte), stage 2
+        groups candidates by (module_a, module_b) pair — all swaps of a
+        pair share one retiming override column-set, the union of both
+        memberships — and builds multi-gate override rows where the
+        exchanged pair's entries carry the *other* side's sensor
+        parameters, retimed in one
+        :meth:`IncrementalTiming.retime_batch` stacked sweep.  The state
+        is never mutated.  Candidates out of a 1-gate module are
+        rejected (the first move of the exchange would delete it —
+        sequential scoring raises the same way).
+        """
+        gates_a = np.asarray(gates_a, dtype=np.int64)
+        gates_b = np.asarray(gates_b, dtype=np.int64)
+        count = len(gates_a)
+        if len(gates_b) != count:
+            raise PartitionError("trial_swaps needs equally many a- and b-gates")
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        obs.METRICS.inc("optimize.trial_swaps.calls")
+        obs.METRICS.inc("optimize.trial_swaps.candidates", count)
+        if self._journal is not None:
+            raise PartitionError("trial_swaps not allowed inside an open trial")
+        self._refresh()
+        ctx = self.ctx
+        partition = self.partition
+        electricals = ctx.electricals
+        num_slots = len(self._slot_module)
+
+        slot_map = np.full(partition._next_id, -1, dtype=np.int64)
+        for module, slot in self._slot_of.items():
+            slot_map[module] = slot
+        mod_a = partition._module_of[gates_a].astype(np.int64)
+        mod_b = partition._module_of[gates_b].astype(np.int64)
+        if (mod_a == mod_b).any():
+            raise PartitionError("swap candidate within a single module")
+        sizes = np.bincount(partition._module_of, minlength=int(partition._next_id))
+        if (sizes[mod_a] == 1).any():
+            raise PartitionError("swap candidate out of a 1-gate module")
+        slot_a = slot_map[mod_a]
+        slot_b = slot_map[mod_b]
+        rows = np.arange(count)
+
+        # --- stage 1: every non-delay statistic, fully vectorised, with
+        # the two moves' deltas applied in sequential per-move order.
+        leak_ga = electricals.leakage_na[gates_a]
+        leak_gb = electricals.leakage_na[gates_b]
+        rail_ga = electricals.rail_cap_ff[gates_a]
+        rail_gb = electricals.rail_cap_ff[gates_b]
+        peak_ga = electricals.peak_current_ma[gates_a]
+        peak_gb = electricals.peak_current_ma[gates_b]
+        a_leak = (self.leak_na[slot_a] - leak_ga) + leak_gb
+        b_leak = (self.leak_na[slot_b] + leak_ga) - leak_gb
+        a_rail = (self.rail_cap_ff[slot_a] - rail_ga) + rail_gb
+        b_rail = (self.rail_cap_ff[slot_b] + rail_ga) - rail_gb
+
+        gate_slot = slot_map[partition._module_of]
+        unique_gates, inverse = np.unique(
+            np.concatenate([gates_a, gates_b]), return_inverse=True
+        )
+        sums = ctx.separation.sums_by_group(unique_gates, gate_slot, num_slots)
+        inv_a = inverse[:count]
+        inv_b = inverse[count:]
+        # The second move sees the first one's result: ``a`` is already
+        # in B, so ``b``'s sums gain/lose the pair's own distance.
+        d_ab = ctx.separation.matrix[gates_a, gates_b].astype(np.float64)
+        a_sep = (self.sep_sum[slot_a] - sums[inv_a, slot_a]) + (
+            sums[inv_b, slot_a] - d_ab
+        )
+        b_sep = (self.sep_sum[slot_b] + sums[inv_a, slot_b]) - (
+            sums[inv_b, slot_b] + d_ab
+        )
+
+        times = ctx.times
+        a_flat, a_counts = csr_gather(times.times_indptr, times.times_flat, gates_a)
+        b_flat, b_counts = csr_gather(times.times_indptr, times.times_flat, gates_b)
+        a_row_rep = np.repeat(rows, a_counts)
+        b_row_rep = np.repeat(rows, b_counts)
+        a_peak_rep = np.repeat(peak_ga, a_counts)
+        b_peak_rep = np.repeat(peak_gb, b_counts)
+        a_cur = self.current[slot_a].copy()
+        b_cur = self.current[slot_b].copy()
+        a_act = self.activity[slot_a].copy()
+        b_act = self.activity[slot_b].copy()
+        a_cur[a_row_rep, a_flat] -= a_peak_rep  # move 1: a leaves A ...
+        b_cur[a_row_rep, a_flat] += a_peak_rep  # ... and joins B
+        a_act[a_row_rep, a_flat] -= 1.0
+        b_act[a_row_rep, a_flat] += 1.0
+        b_cur[b_row_rep, b_flat] -= b_peak_rep  # move 2: b leaves B ...
+        a_cur[b_row_rep, b_flat] += b_peak_rep  # ... and joins A
+        b_act[b_row_rep, b_flat] -= 1.0
+        a_act[b_row_rep, b_flat] += 1.0
+        a_max = a_cur.max(axis=1)
+        b_max = b_cur.max(axis=1)
+
+        a_rs, a_area, a_cs, a_tau, _ = size_sensors(ctx.technology, a_max, a_rail)
+        b_rs, b_area, b_cs, b_tau, _ = size_sensors(ctx.technology, b_max, b_rail)
+        a_settle = settle_times_ns(a_max, a_tau, ctx.technology)
+        b_settle = settle_times_ns(b_max, b_tau, ctx.technology)
+
+        # Candidate-row matrices over all slots: base values with the two
+        # touched columns replaced (swaps preserve sizes — nothing dies).
+        def candidate_matrix(base, a_new, b_new):
+            matrix = np.broadcast_to(base, (count, num_slots)).copy()
+            matrix[rows, slot_a] = a_new
+            matrix[rows, slot_b] = b_new
+            return matrix
+
+        total_area = candidate_matrix(self.sensor_area, a_area, b_area).sum(axis=1)
+        total_sep = candidate_matrix(self.sep_sum, a_sep, b_sep).sum(axis=1)
+        settle = candidate_matrix(self.settle_ns, a_settle, b_settle).max(axis=1)
+        feasible, violation, _, _ = check_constraints_arrays(
+            ctx.technology,
+            candidate_matrix(self.leak_na, a_leak, b_leak),
+            candidate_matrix(self.max_current_ma, a_max, b_max),
+        )
+
+        # --- stage 2: the delay term, batched per (module_a, module_b)
+        # pair — one shared override column-set per pair.
+        d_bic = np.empty(count, dtype=np.float64)
+        if getattr(ctx.degradation, "broadcasts", False):
+            arrival = self._arrival
+            if self._block_max is None:
+                self._block_max = ctx.timing.incremental.block_maxima(arrival)
+            block_max = self._block_max
+            delays = self.delay_degraded
+            nominal = electricals.delay_ns
+            incremental = ctx.timing.incremental
+            cg_ff = electricals.output_cap_ff
+            rg_ohm = electricals.pulldown_res_ohm
+            time_resolved = ctx.time_resolved_degradation
+            if not time_resolved:
+                n_a = a_act.max(axis=1)
+                n_b = b_act.max(axis=1)
+
+            def side_overrides(members, n_rows, rs_rows, cs_rows):
+                delta = ctx.degradation.delta(
+                    n_rows,
+                    rs_rows[:, None],
+                    cs_rows[:, None],
+                    cg_ff[members][None, :],
+                    rg_ohm[members][None, :],
+                )
+                return nominal[members][None, :] * (1.0 + delta)
+
+            keys = mod_a * np.int64(partition._next_id) + mod_b
+            order = np.argsort(keys, kind="stable")
+            boundaries = np.nonzero(np.diff(keys[order]))[0] + 1
+            groups = np.split(order, boundaries)
+            # Same merged-stacking path as trial_moves: scattered pools
+            # merge every pair group into one retime_batch call over the
+            # union column set (base-delay entries are no-op overrides,
+            # so the merge is bit-identical).
+            merged_over = None
+            if len(groups) * 8 > count:
+                touched_modules = np.unique(np.concatenate([mod_a, mod_b]))
+                all_cols = np.sort(
+                    np.concatenate([self._members[int(m)] for m in touched_modules])
+                )
+                merged_over = np.empty((count, all_cols.size), dtype=np.float64)
+                merged_over[:] = delays[all_cols][None, :]
+            for group in groups:
+                members_a = self._members[int(mod_a[group[0]])]
+                members_b = self._members[int(mod_b[group[0]])]
+                cols = np.concatenate([members_a, members_b])
+                if merged_over is not None:
+                    col_pos = np.searchsorted(all_cols, cols)
+                n_s = members_a.size
+                for lo in range(0, len(group), 192):
+                    chunk = group[lo : lo + 192]
+                    moved_a = gates_a[chunk]
+                    moved_b = gates_b[chunk]
+                    over = np.empty((chunk.size, cols.size), dtype=np.float64)
+                    n_rows = (
+                        _profile_max_rows(times, members_a, a_act[chunk])
+                        if time_resolved
+                        else n_a[chunk][:, None]
+                    )
+                    over[:, :n_s] = side_overrides(
+                        members_a, n_rows, a_rs[chunk], a_cs[chunk]
+                    )
+                    n_rows = (
+                        _profile_max_rows(times, members_b, b_act[chunk])
+                        if time_resolved
+                        else n_b[chunk][:, None]
+                    )
+                    over[:, n_s:] = side_overrides(
+                        members_b, n_rows, b_rs[chunk], b_cs[chunk]
+                    )
+                    # The exchanged pair crosses sides: each moved
+                    # gate's override carries the *other* module's
+                    # sensor parameters — two overwritten entries per
+                    # candidate row (multi-gate override columns).
+                    n_moved = (
+                        _profile_max_diag(times, moved_a, b_act[chunk])
+                        if time_resolved
+                        else n_b[chunk]
+                    )
+                    delta_moved = ctx.degradation.delta(
+                        n_moved,
+                        b_rs[chunk],
+                        b_cs[chunk],
+                        cg_ff[moved_a],
+                        rg_ohm[moved_a],
+                    )
+                    over[
+                        np.arange(chunk.size), np.searchsorted(members_a, moved_a)
+                    ] = nominal[moved_a] * (1.0 + delta_moved)
+                    n_moved = (
+                        _profile_max_diag(times, moved_b, a_act[chunk])
+                        if time_resolved
+                        else n_a[chunk]
+                    )
+                    delta_moved = ctx.degradation.delta(
+                        n_moved,
+                        a_rs[chunk],
+                        a_cs[chunk],
+                        cg_ff[moved_b],
+                        rg_ohm[moved_b],
+                    )
+                    over[
+                        np.arange(chunk.size),
+                        n_s + np.searchsorted(members_b, moved_b),
+                    ] = nominal[moved_b] * (1.0 + delta_moved)
+                    if merged_over is not None:
+                        merged_over[chunk[:, None], col_pos[None, :]] = over
+                    else:
+                        d_bic[chunk] = incremental.retime_batch(
+                            arrival, delays, cols, over, block_max=block_max
+                        )
+            if merged_over is not None:
+                for lo in range(0, count, 192):
+                    d_bic[lo : lo + 192] = incremental.retime_batch(
+                        arrival,
+                        delays,
+                        all_cols,
+                        merged_over[lo : lo + 192],
+                        block_max=block_max,
+                    )
+        else:
+            self._delay_swap_loop(
+                d_bic,
+                gates_a,
+                gates_b,
+                mod_a,
+                mod_b,
+                a_act,
+                b_act,
+                a_rs,
+                a_cs,
+                b_rs,
+                b_cs,
+            )
+
+        d_nom = ctx.nominal_delay_ns
+        weights = ctx.weights
+        c1 = np.log1p(np.maximum(total_area, 0.0))
+        c2 = (d_bic - d_nom) / d_nom
+        c3 = np.log1p(np.maximum(total_sep, 0.0))
+        c4 = (d_bic + settle - d_nom) / d_nom
+        c5 = float(partition.num_modules)  # swaps never change K
+        costs = (
+            weights.area * c1
+            + weights.delay * c2
+            + weights.separation * c3
+            + weights.test_time * c4
+            + weights.modules * c5
+        )
+        return costs + np.where(feasible, 0.0, penalty * (1.0 + violation))
+
+    def _delay_swap_loop(
+        self,
+        d_bic,
+        gates_a,
+        gates_b,
+        mod_a,
+        mod_b,
+        a_act,
+        b_act,
+        a_rs,
+        a_cs,
+        b_rs,
+        b_cs,
+    ) -> None:
+        """Sequential per-candidate swap delay term — the fallback for
+        degradation models without broadcasting (mirror of
+        :meth:`_delay_term_loop` with both memberships exchanged)."""
+        ctx = self.ctx
+        times = ctx.times
+        electricals = ctx.electricals
+        arrival = self._arrival
+        delays = self.delay_degraded
+        nominal = electricals.delay_ns
+        incremental = ctx.timing.incremental
+        for i in range(len(gates_a)):
+            a = int(gates_a[i])
+            b = int(gates_b[i])
+            members_a = self._members[int(mod_a[i])]
+            members_b = self._members[int(mod_b[i])]
+            keep_a = members_a[members_a != a]
+            new_a = np.insert(keep_a, np.searchsorted(keep_a, b), b)
+            keep_b = members_b[members_b != b]
+            new_b = np.insert(keep_b, np.searchsorted(keep_b, a), a)
+            seeds: list[np.ndarray] = []
+            saved: list[tuple[np.ndarray, np.ndarray]] = []
+            for module_gates, act_row, rs_i, cs_i in (
+                (new_a, a_act[i], a_rs[i], a_cs[i]),
+                (new_b, b_act[i], b_rs[i], b_cs[i]),
+            ):
                 if ctx.time_resolved_degradation:
                     n = times.max_in_profile(module_gates, act_row)
                 else:

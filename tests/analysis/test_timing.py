@@ -289,6 +289,59 @@ class TestRetimeBatch:
             cand[cols] = overrides[i]
             assert result[i] == float(ref.arrival_times(cand).max())
 
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_union_column_set_merges_heterogeneous_candidates(self, seed):
+        """The merged-batch contract the optimizer kernels rely on:
+        heterogeneous candidates share one union column set, each row
+        overriding only its own disjoint slice (base-delay entries are
+        per-row no-ops), and every row scores exactly as if it had been
+        submitted alone with just its own columns."""
+        circuit = generate_iscas_like(
+            GeneratorConfig(
+                name="uc",
+                num_gates=100,
+                num_inputs=5,
+                num_outputs=3,
+                depth=9,
+                seed=seed % 997,
+            )
+        )
+        ref, inc = _engines(circuit, max_block_gates=8)
+        n = inc.num_gates
+        rng = np.random.default_rng(seed)
+        delays = rng.uniform(0.2, 2.0, n)
+        arrival = inc.full_arrival(delays)
+        block_max = inc.block_maxima(arrival)
+        # Disjoint "memberships" over a shared union column set; one
+        # candidate per slice, plus one all-base row mixed in.
+        perm = rng.permutation(n)[: 3 * (n // 4) // 3 * 3]
+        slices = np.array_split(perm, 3)
+        cols = np.sort(perm)
+        count = len(slices) + 1
+        overrides = np.tile(delays[cols], (count, 1))
+        for i, part in enumerate(slices):
+            pos = np.searchsorted(cols, np.sort(part))
+            overrides[i, pos] = rng.uniform(0.2, 2.0, part.size)
+        result = inc.retime_batch(arrival, delays, cols, overrides, block_max=block_max)
+        for i in range(len(slices)):
+            cand = delays.copy()
+            cand[cols] = overrides[i]
+            assert result[i] == float(ref.arrival_times(cand).max())
+            # ... and identically when submitted alone with only its
+            # own columns (the per-group call the merge replaces).
+            own = np.sort(slices[i])
+            alone = inc.retime_batch(
+                arrival,
+                delays,
+                own,
+                overrides[i, np.searchsorted(cols, own)][None, :],
+                block_max=block_max,
+            )
+            assert alone[0] == result[i]
+        # The all-base row reduces to the maintained maximum.
+        assert result[-1] == float(arrival.max())
+
     def test_all_base_overrides_short_circuit(self):
         circuit = generate_iscas_like(
             GeneratorConfig(

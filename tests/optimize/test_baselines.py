@@ -1,6 +1,10 @@
 """Tests for annealing, random search and greedy refinement."""
 
+import dataclasses
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import OptimizationError
 from repro.optimize.annealing import AnnealingParams, anneal_partition
@@ -38,6 +42,39 @@ class TestAnnealing:
             AnnealingParams(initial_temperature=0.0001, min_temperature=1.0)
         with pytest.raises(OptimizationError):
             AnnealingParams(steps_per_temperature=0)
+        with pytest.raises(OptimizationError):
+            AnnealingParams(candidate_mode="eager")
+        with pytest.raises(OptimizationError):
+            AnnealingParams(proposal_block=0)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        block=st.integers(1, 24),
+        steps=st.integers(5, 30),
+    )
+    def test_batched_decision_stream_bit_identical(
+        self, small_evaluator, quick_sa, seed, block, steps
+    ):
+        """Under a pinned RNG draw order the batched walk reproduces the
+        sequential accept/reject decision stream bit-for-bit — every
+        consumed proposal, every decision, every scored cost — and the
+        two runs end at the exact same best cost."""
+        streams = []
+        for mode in ("batched", "sequential"):
+            params = dataclasses.replace(
+                quick_sa,
+                candidate_mode=mode,
+                proposal_block=block,
+                steps_per_temperature=steps,
+            )
+            decisions = []
+            result = anneal_partition(
+                small_evaluator, params, seed=seed, _decisions=decisions
+            )
+            streams.append((decisions, result.best_cost, result.evaluations))
+        assert streams[0][0] == streams[1][0]
+        assert streams[0][1] == streams[1][1]
 
 
 class TestRandomSearch:

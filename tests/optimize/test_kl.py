@@ -1,11 +1,14 @@
 """Tests for KL-style refinement."""
 
+import random
+import statistics
+
 import pytest
 
 from repro.errors import OptimizationError
 from repro.optimize.kl import kl_refine
 from repro.optimize.random_search import random_partition
-from repro.optimize.start import chain_start_partition
+from repro.optimize.start import chain_start_partition, estimate_module_count
 
 
 class TestKLRefine:
@@ -39,6 +42,18 @@ class TestKLRefine:
             kl_refine(small_evaluator, start, max_passes=0)
         with pytest.raises(OptimizationError):
             kl_refine(small_evaluator, start, candidate_swaps=0)
+        with pytest.raises(OptimizationError):
+            kl_refine(small_evaluator, start, candidate_mode="eager")
+        with pytest.raises(OptimizationError):
+            kl_refine(small_evaluator, start, candidate_rounds=0)
+
+    @pytest.mark.parametrize("mode", ["batched", "sequential"])
+    def test_candidate_modes_never_worse(self, small_evaluator, rng, mode):
+        start = random_partition(small_evaluator, 4, rng)
+        start_cost = small_evaluator.new_state(start).penalized_cost(1e4)
+        result = kl_refine(small_evaluator, start, seed=11, candidate_mode=mode)
+        assert result.best_cost <= start_cost + 1e-9
+        result.best.partition.check_invariants()
 
     def test_single_module_noop(self, c17_evaluator, c17_paper):
         from repro.partition.partition import Partition
@@ -52,3 +67,36 @@ class TestKLRefine:
         a = kl_refine(small_evaluator, start, seed=7)
         b = kl_refine(small_evaluator, start, seed=7)
         assert a.best_cost == pytest.approx(b.best_cost)
+
+
+class TestCandidateModeAblation:
+    """Seed-swept batched-vs-sequential ablation on real ISCAS circuits.
+
+    The batched pass is a semantic change (fresh pools scored in bulk,
+    walked best-first) rather than a re-implementation, so the check is
+    statistical: across the sweep the batched mode's final costs must be
+    no worse on average, and no single seed may lose by more than 0.5%.
+    """
+
+    SEEDS = range(6)
+
+    @pytest.mark.parametrize("name", ["c432", "c880"])
+    def test_batched_statistically_no_worse(self, name):
+        from repro.netlist.benchmarks import load_iscas85
+        from repro.partition.evaluator import PartitionEvaluator
+
+        evaluator = PartitionEvaluator(load_iscas85(name))
+        k = estimate_module_count(evaluator)
+        finals = {"batched": [], "sequential": []}
+        for seed in self.SEEDS:
+            start = chain_start_partition(evaluator, k, random.Random(seed))
+            for mode in finals:
+                result = kl_refine(
+                    evaluator, start, seed=seed, candidate_mode=mode
+                )
+                finals[mode].append(result.best_cost)
+        for batched, sequential in zip(finals["batched"], finals["sequential"]):
+            assert batched <= sequential * 1.005
+        assert statistics.mean(finals["batched"]) <= statistics.mean(
+            finals["sequential"]
+        )

@@ -250,3 +250,98 @@ class TestGainKernel:
         sequential = state.trial_cost([(0, targets[0])], 1e4)
         state.rollback()
         assert batched[0] == sequential
+
+
+class TestSwapKernel:
+    """The batched dense two-gate swap kernel vs per-candidate trials."""
+
+    def _swap_candidates(self, partition):
+        """Every (gate_a, gate_b, module_a, module_b) boundary exchange."""
+        out = []
+        for module_a in partition.module_ids:
+            if partition.module_size(module_a) < 2:
+                continue
+            for gate_a in partition.boundary_gates(module_a):
+                for module_b in partition.neighbor_modules(gate_a):
+                    for gate_b in partition.gates_adjacent_to(module_b, module_a):
+                        out.append((gate_a, gate_b, module_a, module_b))
+        return out
+
+    def _sequential(self, state, candidates):
+        costs = []
+        for gate_a, gate_b, module_a, module_b in candidates:
+            costs.append(
+                state.trial_cost([(gate_a, module_b), (gate_b, module_a)], 1e4)
+            )
+            state.rollback()
+        return costs
+
+    def test_grouped_pool_matches_sequential(self, small_evaluator):
+        """A dense pool (many swaps of one module pair) keeps the
+        per-pair grouped calls and scores exactly as sequential trials."""
+        state = small_evaluator.new_state(
+            balanced_partition(small_evaluator.circuit, 4)
+        )
+        state.penalized_cost(1e4)
+        candidates = self._swap_candidates(state.partition)
+        pair = (candidates[0][2], candidates[0][3])
+        pool = [c for c in candidates if (c[2], c[3]) == pair]
+        assert len(pool) >= 8, "fixture must exercise the grouped path"
+        batched = state.trial_swaps(
+            [c[0] for c in pool], [c[1] for c in pool], 1e4
+        )
+        assert list(batched) == self._sequential(state, pool)
+
+    def test_scattered_pool_matches_sequential(self, small_evaluator):
+        """A scattered pool (~one swap per module pair) takes the merged
+        union-column sweep and still scores exactly as sequential."""
+        state = small_evaluator.new_state(
+            balanced_partition(small_evaluator.circuit, 4)
+        )
+        state.penalized_cost(1e4)
+        seen, pool = set(), []
+        for c in self._swap_candidates(state.partition):
+            if (c[2], c[3]) not in seen:
+                seen.add((c[2], c[3]))
+                pool.append(c)
+        assert len(pool) >= 4, "fixture must scatter across module pairs"
+        batched = state.trial_swaps(
+            [c[0] for c in pool], [c[1] for c in pool], 1e4
+        )
+        assert list(batched) == self._sequential(state, pool)
+
+    def test_matches_reference_loop(self, small_evaluator):
+        partition = balanced_partition(small_evaluator.circuit, 4)
+        dense = small_evaluator.new_state(partition)
+        reference = small_evaluator.new_state(partition, impl="reference")
+        pool = self._swap_candidates(dense.partition)[:24]
+        batched = dense.trial_swaps([c[0] for c in pool], [c[1] for c in pool], 1e4)
+        looped = reference.trial_swaps(
+            [c[0] for c in pool], [c[1] for c in pool], 1e4
+        )
+        np.testing.assert_allclose(batched, looped, rtol=1e-12, atol=1e-12)
+
+    def test_kernel_leaves_state_untouched(self, small_evaluator):
+        state = small_evaluator.new_state(
+            balanced_partition(small_evaluator.circuit, 4)
+        )
+        before = state.penalized_cost(1e4)
+        pool = self._swap_candidates(state.partition)[:16]
+        state.trial_swaps([c[0] for c in pool], [c[1] for c in pool], 1e4)
+        assert state.penalized_cost(1e4) == before
+        state.consistency_check()
+
+    def test_rejects_degenerate_candidates(self, small_evaluator):
+        circuit = small_evaluator.circuit
+        state = small_evaluator.new_state(balanced_partition(circuit, 4))
+        state.penalized_cost(1e4)
+        with pytest.raises(PartitionError, match="single module"):
+            state.trial_swaps([0], [4], 1e4)  # 0 and 4 share module 0
+        n = len(circuit.gate_names)
+        assignment = {g: (0 if g == 0 else 1 + g % 2) for g in range(n)}
+        lone = small_evaluator.new_state(Partition(circuit, assignment))
+        lone.penalized_cost(1e4)
+        with pytest.raises(PartitionError, match="1-gate"):
+            lone.trial_swaps([0], [1], 1e4)
+        with pytest.raises(PartitionError, match="equally many"):
+            state.trial_swaps([0, 1], [4], 1e4)
