@@ -14,9 +14,12 @@ Two claims are measured (and floored) here:
   from the cache (hits == entries, the manifest-level acceptance
   criterion) and finish faster than the cold run.
 * **Disabled-telemetry overhead** — the instrumented-but-off cost of
-  the observability layer (DESIGN §11) on the serial detection-matrix
-  build: instrumentation call count x measured per-call disabled cost
-  must stay <= 3% of the op's wall clock.
+  the observability layer (DESIGN §11-§12) on the serial
+  detection-matrix build routed through the executor, so the
+  tracer/metrics call sites *and* the heartbeat hooks
+  (``live.note_task`` / ``clear_task``, DESIGN §12) are all crossed:
+  instrumentation call count x measured per-call disabled cost must
+  stay <= 3% of the op's wall clock.
 """
 
 import os
@@ -103,7 +106,9 @@ def test_detection_matrix_sharded_4workers_c7552(benchmark, c7552, stuck_setup):
 def _count_instrumentation_calls(func) -> int:
     """Run ``func`` once with the telemetry entry points replaced by
     counting no-ops; returns how many times the op would have touched
-    the (disabled) tracer/metrics singletons."""
+    the (disabled) tracer/metrics singletons or the (disabled)
+    heartbeat hooks."""
+    from repro.obs import live
     from repro.obs.core import _NULL_SPAN, Metrics, Tracer
 
     calls = 0
@@ -121,21 +126,33 @@ def _count_instrumentation_calls(func) -> int:
         nonlocal calls
         calls += 1
 
-    saved = (Metrics.inc, Tracer.span, Tracer.instant)
+    def counting_note(index, attempt):
+        nonlocal calls
+        calls += 1
+
+    def counting_clear():
+        nonlocal calls
+        calls += 1
+
+    saved = (Metrics.inc, Tracer.span, Tracer.instant,
+             live.note_task, live.clear_task)
     Metrics.inc, Tracer.span, Tracer.instant = (
         counting_inc, counting_span, counting_instant,
     )
+    live.note_task, live.clear_task = counting_note, counting_clear
     try:
         func()
     finally:
-        Metrics.inc, Tracer.span, Tracer.instant = saved
+        (Metrics.inc, Tracer.span, Tracer.instant,
+         live.note_task, live.clear_task) = saved
     return calls
 
 
 def _disabled_call_cost() -> float:
-    """Per-call seconds of a disabled counter bump / span, whichever is
-    worse (fresh disabled instances, so an enabled environment cannot
-    skew the measurement)."""
+    """Per-call seconds of a disabled counter bump / span / heartbeat
+    note, whichever is worse (fresh disabled instances, so an enabled
+    environment cannot skew the measurement)."""
+    from repro.obs import live
     from repro.obs.core import Metrics, Tracer
 
     metrics = Metrics(enabled=False)
@@ -150,7 +167,14 @@ def _disabled_call_cost() -> float:
         with tracer.span("bench.disabled", attr=1):
             pass
     span_cost = (time.perf_counter() - start) / rounds
-    return max(inc_cost, span_cost)
+    live.stop_heartbeat()
+    live.note_task(0, 0)  # settle the cached-interval fast path
+    start = time.perf_counter()
+    for _ in range(rounds):
+        live.note_task(0, 0)
+        live.clear_task()
+    note_cost = (time.perf_counter() - start) / (2 * rounds)
+    return max(inc_cost, span_cost, note_cost)
 
 
 def test_disabled_telemetry_overhead_floor(benchmark, c7552, stuck_setup):
@@ -159,16 +183,29 @@ def test_disabled_telemetry_overhead_floor(benchmark, c7552, stuck_setup):
     Timing two runs against each other would drown the signal in
     run-to-run noise, so the bound is computed analytically: the number
     of instrumentation call sites the op actually crosses, times the
-    measured worst-case per-call cost of a disabled bump/span, over the
-    op's own wall clock.
+    measured worst-case per-call cost of a disabled bump/span/heartbeat
+    note, over the op's own wall clock.  The op runs through the serial
+    executor so the heartbeat hooks in the task loop are on the
+    measured path.
     """
+    from repro.obs import live
+    from repro.runtime.executor import Executor
+
     assert not obs.TRACER.enabled and not obs.METRICS.enabled, (
         "overhead floor must run with telemetry off (unset REPRO_TRACE/"
         "REPRO_METRICS)"
     )
+    assert live.resolve_heartbeat() == 0.0, (
+        "overhead floor must run with heartbeats off (unset REPRO_HEARTBEAT)"
+    )
     faults, patterns = stuck_setup
     sim = StuckAtSimulator(c7552)
-    op = lambda: sim.detection_matrix(faults, patterns)  # noqa: E731
+
+    def op():
+        return Executor(1).map(
+            lambda state, task: sim.detection_matrix(faults, patterns), [0]
+        )
+
     _timed_once(benchmark, "overhead_op", op)
     op_seconds = _RECORDED["overhead_op"][0]
     calls = _count_instrumentation_calls(op)

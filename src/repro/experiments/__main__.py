@@ -8,8 +8,10 @@ Usage::
     python -m repro.experiments campaign [--circuits c432,c880]
         [--stages separation,stuck-at,atpg,optimize] [--jobs N]
         [--cache-dir DIR] [--out manifest.json] [--resume MANIFEST]
-        [--trace TRACE.json] [--task-timeout SECONDS] [--task-retries N]
-        [--seed S] [--full]
+        [--trace TRACE.json] [--prom FILE.prom] [--watch [SECONDS]]
+        [--heartbeat SECONDS] [--stall-after SECONDS]
+        [--task-timeout SECONDS] [--task-retries N] [--seed S] [--full]
+    python -m repro.experiments status RUN [--watch [SECONDS]]
     python -m repro.experiments trace-report TRACE.json
 
 ``all`` continues past a failing experiment, prints a per-experiment
@@ -17,22 +19,35 @@ pass/fail summary and exits non-zero if any failed.  ``campaign`` runs
 pipeline stages x circuits through the artifact cache and process pool
 and writes a JSON manifest of artifacts, cache hits and timings
 (see :mod:`repro.runtime.campaign`).  With ``--out`` the campaign also
-journals entries to ``<out>.partial.jsonl`` as they complete;
-``--resume`` takes a previous manifest (or that journal) and skips
-stages already recorded as succeeded.  ``--trace`` turns on runtime
-telemetry (spans + counters, workers included) and writes a Chrome
-trace-event file loadable in Perfetto / ``chrome://tracing``;
-``trace-report`` summarizes such a file in the terminal.  A campaign
-with failed stages exits 1 (the manifest still records every entry).
+journals entries to ``<out>.partial.jsonl`` as they complete and
+maintains a live ``<out>.status.json`` progress ledger; ``--resume``
+takes a previous manifest (or that journal) and skips stages already
+recorded as succeeded.  ``--trace`` turns on runtime telemetry (spans +
+counters, workers included) and writes a Chrome trace-event file
+loadable in Perfetto / ``chrome://tracing``; ``--prom`` maintains a
+Prometheus textfile for the node-exporter textfile collector.
+``--heartbeat`` / ``--stall-after`` set the worker heartbeat interval
+and the soft stall threshold (the environment channel
+``REPRO_HEARTBEAT`` / ``REPRO_STALL_AFTER``, so they reach pool
+workers); ``--watch`` renders the status ledger to stderr while the
+campaign runs.  ``status`` renders a run's status.json once — or
+repeatedly with ``--watch`` until the run reports done — for watching
+a campaign started elsewhere.  ``trace-report`` summarizes a trace
+file in the terminal.  A campaign with failed stages exits 1 (the
+manifest still records every entry).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 import traceback
+from pathlib import Path
 
+from repro.errors import ExperimentError
 from repro.experiments.catalog import experiment_names, run_experiment
 
 
@@ -65,6 +80,7 @@ def _run_campaign(args) -> int:
         CampaignConfig,
         render_manifest,
         run_campaign,
+        status_path,
     )
 
     # Executor knobs travel by environment so they reach pool workers
@@ -73,6 +89,14 @@ def _run_campaign(args) -> int:
         os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
     if args.task_retries is not None:
         os.environ["REPRO_TASK_RETRIES"] = str(args.task_retries)
+    if args.heartbeat is not None:
+        os.environ["REPRO_HEARTBEAT"] = str(args.heartbeat)
+    if args.stall_after is not None:
+        os.environ["REPRO_STALL_AFTER"] = str(args.stall_after)
+    if args.watch is not None and not args.out:
+        print("campaign: --watch needs --out (it polls <out>.status.json)",
+              file=sys.stderr)
+        return 2
     config = CampaignConfig(
         circuits=tuple(c.strip() for c in args.circuits.split(",") if c.strip()),
         stages=tuple(s.strip() for s in args.stages.split(",") if s.strip()),
@@ -83,10 +107,88 @@ def _run_campaign(args) -> int:
         out=args.out,
         resume=args.resume,
         trace=args.trace,
+        prom=args.prom,
     )
-    manifest = run_campaign(config)
+    watcher = (
+        _start_watcher(status_path(args.out), args.watch)
+        if args.watch is not None
+        else None
+    )
+    try:
+        manifest = run_campaign(config)
+    finally:
+        if watcher is not None:
+            watcher()
     print(render_manifest(manifest))
     return 1 if manifest["totals"].get("failed") else 0
+
+
+def _start_watcher(path, interval: float):
+    """Start the ``--watch`` thread: poll ``path`` and render it to
+    stderr whenever it changes.  Returns the stop function.  Side
+    channel only — rendering failures must never touch the campaign."""
+    import threading
+
+    from repro.obs.live import render_status
+
+    stop = threading.Event()
+
+    def watch() -> None:
+        last = None
+        while not stop.wait(interval):
+            try:
+                status = json.loads(Path(path).read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            stamp = status.get("updated_unix")
+            if stamp == last:
+                continue
+            last = stamp
+            print(render_status(status), file=sys.stderr, flush=True)
+
+    thread = threading.Thread(target=watch, name="repro-watch", daemon=True)
+    thread.start()
+
+    def stopper() -> None:
+        stop.set()
+        thread.join(timeout=interval + 1.0)
+
+    return stopper
+
+
+def _resolve_status_path(run: str) -> Path:
+    """Map a ``status`` argument to the status file it names: a run
+    directory, the status file itself, or a manifest path whose
+    ``<manifest>.status.json`` companion exists."""
+    path = Path(run)
+    if path.is_dir():
+        return path / "status.json"
+    if path.name.endswith("status.json"):
+        return path
+    companion = Path(f"{run}.status.json")
+    if companion.exists():
+        return companion
+    return path
+
+
+def _run_status(args) -> int:
+    from repro.obs.live import render_status
+
+    path = _resolve_status_path(args.run)
+    interval = args.watch
+    while True:
+        try:
+            status = json.loads(path.read_text())
+        except OSError as exc:
+            print(f"status: cannot read {path}: {exc}", file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"status: {path} is not valid JSON: {exc}", file=sys.stderr)
+            return 1
+        print(render_status(status))
+        if interval is None or status.get("state") == "done":
+            return 0
+        time.sleep(interval)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -150,6 +252,14 @@ def main(argv: list[str] | None = None) -> int:
         "with the trace-report subcommand)",
     )
     campaign.add_argument(
+        "--prom",
+        default=None,
+        metavar="FILE.prom",
+        help="enable metrics and maintain a Prometheus textfile here "
+        "(node-exporter textfile collector format, rewritten "
+        "atomically after every stage)",
+    )
+    campaign.add_argument(
         "--task-timeout",
         type=float,
         default=None,
@@ -164,8 +274,55 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="per-task retry budget (default: $REPRO_TASK_RETRIES, then 0)",
     )
+    campaign.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="worker heartbeat interval (sets $REPRO_HEARTBEAT; "
+        "default: that variable, then off)",
+    )
+    campaign.add_argument(
+        "--stall-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="soft stall threshold before the hard task timeout "
+        "(sets $REPRO_STALL_AFTER; default: that variable, then "
+        "half the task timeout)",
+    )
+    campaign.add_argument(
+        "--watch",
+        type=float,
+        nargs="?",
+        const=2.0,
+        default=None,
+        metavar="SECONDS",
+        help="render <out>.status.json to stderr while the campaign "
+        "runs, polling every SECONDS (default 2); requires --out",
+    )
     campaign.add_argument("--seed", type=int, default=1995)
     campaign.add_argument("--full", action="store_true", help="full (slow) budgets")
+    status = sub.add_parser(
+        "status",
+        help="render a campaign run's status.json (a run directory, a "
+        "manifest path, or the status file itself)",
+    )
+    status.add_argument(
+        "run",
+        help="run to inspect: a status.json path, a manifest path with "
+        "a <manifest>.status.json companion, or a directory holding "
+        "status.json",
+    )
+    status.add_argument(
+        "--watch",
+        type=float,
+        nargs="?",
+        const=2.0,
+        default=None,
+        metavar="SECONDS",
+        help="re-render every SECONDS until the run reports done",
+    )
     trace_report = sub.add_parser(
         "trace-report",
         help="summarize a Chrome trace-event file written by "
@@ -185,10 +342,18 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "status":
+        return _run_status(args)
     if args.command == "trace-report":
         from repro.obs.report import render_trace_report
 
-        print(render_trace_report(args.trace))
+        try:
+            print(render_trace_report(args.trace))
+        except ExperimentError as exc:
+            # Empty, truncated or non-trace input is an operator error,
+            # not a crash: one readable line, exit 1.
+            print(f"trace-report: {exc}", file=sys.stderr)
+            return 1
         return 0
     return _run_all(args.full)
 

@@ -37,19 +37,38 @@ from repro.obs.core import (
     metrics_enabled,
     trace_enabled,
 )
+from repro.obs import live
+from repro.obs.live import (
+    HeartbeatWriter,
+    ProgressLedger,
+    read_heartbeats,
+    render_status,
+    resolve_heartbeat,
+    resolve_stall_after,
+    task_heartbeat,
+    write_status,
+)
 from repro.obs.report import (
     load_trace_events,
     render_trace_report,
     summarize_trace,
 )
-from repro.obs.sinks import chrome_trace_dict, export_chrome_trace, write_jsonl
+from repro.obs.sinks import (
+    chrome_trace_dict,
+    export_chrome_trace,
+    export_prometheus,
+    prometheus_text,
+    write_jsonl,
+)
 
 __all__ = [
     "METRICS",
     "METRICS_ENV",
     "TRACE_ENV",
     "TRACER",
+    "HeartbeatWriter",
     "Metrics",
+    "ProgressLedger",
     "Tracer",
     "begin_task_capture",
     "chrome_trace_dict",
@@ -57,11 +76,20 @@ __all__ = [
     "enabled_state",
     "end_task_capture",
     "export_chrome_trace",
+    "export_prometheus",
+    "live",
     "load_trace_events",
     "merge_task_snapshot",
     "metrics_enabled",
+    "prometheus_text",
+    "read_heartbeats",
+    "render_status",
     "render_trace_report",
+    "resolve_heartbeat",
+    "resolve_stall_after",
     "summarize_trace",
+    "task_heartbeat",
     "trace_enabled",
     "write_jsonl",
+    "write_status",
 ]

@@ -184,6 +184,7 @@ class _Span:
         tracer = self._tracer
         self._depth = tracer._depth
         tracer._depth = self._depth + 1
+        tracer._stack.append(self.name)
         self._start = time.monotonic_ns()
         return self
 
@@ -191,6 +192,8 @@ class _Span:
         end = time.monotonic_ns()
         tracer = self._tracer
         tracer._depth = self._depth
+        if tracer._stack:  # guarded: a reset() inside the span clears it
+            tracer._stack.pop()
         if exc_type is not None:
             # The span closes even when the block raises — tagged, so
             # the trace shows where the exception unwound through.
@@ -212,12 +215,13 @@ class Tracer:
     for events merged from worker snapshots.
     """
 
-    __slots__ = ("enabled", "_events", "_depth")
+    __slots__ = ("enabled", "_events", "_depth", "_stack")
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self._events: list[tuple] = []
         self._depth = 0
+        self._stack: list[str] = []
 
     def span(self, name: str, **attrs):
         """A context manager timing the enclosed block.
@@ -241,6 +245,15 @@ class Tracer:
     def events(self) -> list[tuple]:
         """A snapshot copy of the recorded events, in record order."""
         return list(self._events)
+
+    def open_spans(self) -> list[str]:
+        """Names of the currently open (unclosed) spans, outermost
+        first.  This is the live view the heartbeat channel
+        (:mod:`repro.obs.live`) samples from its writer thread: reading
+        a list snapshot is GIL-atomic, so no locking is needed, and a
+        beat taken mid-``__enter__``/``__exit__`` merely sees the stack
+        a moment earlier or later."""
+        return list(self._stack)
 
     def mark(self) -> int:
         """An opaque mark for :meth:`events_since` (event count)."""
@@ -266,6 +279,7 @@ class Tracer:
     def reset(self) -> None:
         self._events.clear()
         self._depth = 0
+        self._stack.clear()
 
 
 #: The process-wide singletons all instrumentation talks to.
@@ -310,12 +324,13 @@ def begin_task_capture(trace: bool, metrics: bool) -> tuple:
     the buffer swap needs no locking.
     """
     saved = (
-        TRACER.enabled, TRACER._events, TRACER._depth,
+        TRACER.enabled, TRACER._events, TRACER._depth, TRACER._stack,
         METRICS.enabled, METRICS._counters, METRICS._gauges,
     )
     TRACER.enabled = trace
     TRACER._events = []
     TRACER._depth = 0
+    TRACER._stack = []
     METRICS.enabled = metrics
     METRICS._counters = {}
     METRICS._gauges = {}
@@ -329,7 +344,7 @@ def end_task_capture(token: tuple) -> dict | None:
     events = TRACER._events
     counters = METRICS._counters
     gauges = METRICS._gauges
-    (TRACER.enabled, TRACER._events, TRACER._depth,
+    (TRACER.enabled, TRACER._events, TRACER._depth, TRACER._stack,
      METRICS.enabled, METRICS._counters, METRICS._gauges) = token
     if not events and not counters and not gauges:
         return None

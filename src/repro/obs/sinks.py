@@ -1,6 +1,7 @@
-"""Structured sinks: JSONL event log and Chrome trace-event export.
+"""Structured sinks: JSONL event log, Chrome trace-event export and a
+Prometheus textfile exporter.
 
-Two on-disk formats for one in-memory event list:
+Three on-disk formats for one in-memory registry:
 
 * :func:`write_jsonl` — one JSON object per line, append-friendly and
   greppable: every span and instant event, then one ``counters`` and
@@ -14,6 +15,12 @@ Two on-disk formats for one in-memory event list:
   so a campaign's sharded stages render as parallel swimlanes.
   Counters ride in ``otherData`` (ignored by viewers, kept for
   ``trace-report``).
+* :func:`export_prometheus` — the Prometheus text exposition format for
+  the node-exporter *textfile collector*: the same counters the Chrome
+  trace serializes, rendered as ``repro_<name>_total`` counter samples
+  (gauges as ``repro_<name>``), written by atomic rename as the
+  collector contract requires.  This is the scrape surface the fleet
+  scheduler consumes — no trace file round-trip needed.
 
 Timestamps are rebased to the earliest event so traces start near zero;
 Chrome wants microseconds (floats are allowed — nanosecond precision
@@ -23,11 +30,20 @@ survives as fractions).
 from __future__ import annotations
 
 import json
+import os
+import re
+import tempfile
 from pathlib import Path
 
 from repro.obs.core import METRICS, TRACER, Metrics, Tracer
 
-__all__ = ["chrome_trace_dict", "export_chrome_trace", "write_jsonl"]
+__all__ = [
+    "chrome_trace_dict",
+    "export_chrome_trace",
+    "export_prometheus",
+    "prometheus_text",
+    "write_jsonl",
+]
 
 
 def _rebase(events: list[tuple]) -> int:
@@ -149,4 +165,69 @@ def export_chrome_trace(
     path.parent.mkdir(parents=True, exist_ok=True)
     document = chrome_trace_dict(tracer, metrics)
     path.write_text(json.dumps(document, sort_keys=True) + "\n")
+    return path
+
+
+# --------------------------------------------------------------- prometheus
+#: Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; we map every
+#: other character of a dotted counter name to "_".
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    sanitized = _PROM_BAD.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):  # bool is an int subclass — be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(
+    metrics: Metrics | None = None, prefix: str = "repro_"
+) -> str:
+    """The registry as Prometheus text exposition format.
+
+    Counters get the conventional ``_total`` suffix, gauges keep the
+    bare name; one ``# TYPE`` line per sample family.  No timestamps —
+    the textfile collector forbids them (mtime is the freshness
+    signal).
+    """
+    metrics = metrics if metrics is not None else METRICS
+    lines: list[str] = []
+    for name, value in sorted(metrics.counters().items()):
+        prom = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, value in sorted(metrics.gauges().items()):
+        prom = _prom_name(name, prefix)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_prometheus(
+    path: str | Path,
+    metrics: Metrics | None = None,
+    prefix: str = "repro_",
+) -> Path:
+    """Write the textfile-collector file by atomic rename (the collector
+    may scrape at any moment; a torn file would drop every sample)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = prometheus_text(metrics, prefix)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        Path(tmp).unlink(missing_ok=True)
+        raise
     return path

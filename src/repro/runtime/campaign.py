@@ -38,13 +38,14 @@ from typing import Sequence
 
 from repro import obs
 from repro.errors import ExperimentError
+from repro.obs import live
 from repro.runtime.artifacts import (
     cached_detection_matrix,
     cached_iddq_test_set,
     cached_portfolio,
     cached_separation_matrix,
 )
-from repro.runtime.executor import resolve_jobs
+from repro.runtime.executor import executor_stats_snapshot, resolve_jobs
 from repro.runtime.faults import FaultPlan, InjectedKill
 from repro.runtime.store import ArtifactStore
 
@@ -54,6 +55,7 @@ __all__ = [
     "render_manifest",
     "run_campaign",
     "save_manifest",
+    "status_path",
     "STAGES",
 ]
 
@@ -67,8 +69,13 @@ STAGES: tuple[str, ...] = ("separation", "stuck-at", "atpg", "optimize")
 #: stage produced (cache hits by kind, executor retries/restarts,
 #: summed worker task seconds), present only when metrics collection is
 #: on (``--trace`` / ``REPRO_METRICS``); with telemetry off, a schema-3
-#: manifest is field-for-field a schema-2 manifest.
-MANIFEST_SCHEMA = 3
+#: manifest is field-for-field a schema-2 manifest.  Schema 4 adds the
+#: always-present ``totals["executor"]`` recovery profile (retries,
+#: timeouts, pool restarts, serial fallbacks, tasks recovered, stalls
+#: accumulated across every executor the run built) — a count of
+#: recovery *events*, deterministic under a deterministic fault plan,
+#: unlike the timing-dependent per-entry metrics.
+MANIFEST_SCHEMA = 4
 
 
 @dataclass(frozen=True)
@@ -82,9 +89,18 @@ class CampaignConfig:
     trace-event output path; setting it turns on span tracing *and*
     metrics for the run (workers included — the executor forwards the
     flags with every task) and writes the merged, worker-attributed
-    trace there at the end.  Tracing never changes computed results:
-    the manifest is identical modulo ``seconds`` and the per-entry
-    ``metrics`` dicts.
+    trace there at the end.  ``prom`` names a Prometheus textfile
+    (node-exporter textfile collector format); setting it turns on
+    metrics and rewrites the file after every stage and at the end.
+    Telemetry never changes computed results: the manifest is identical
+    modulo ``seconds`` and the per-entry ``metrics`` dicts.
+
+    With ``out`` set the run also maintains ``<out>.status.json`` (the
+    :class:`repro.obs.live.ProgressLedger` document — atomic-renamed
+    after every stage, so it always parses) and, when the heartbeat
+    channel is on without an explicit ``REPRO_HEARTBEAT_DIR``, pins the
+    heartbeat run directory to ``<out>.hb`` so the run's worker files
+    land next to its manifest.
     """
 
     circuits: tuple[str, ...] = ("c432", "c880")
@@ -96,6 +112,7 @@ class CampaignConfig:
     out: str | None = None
     resume: str | None = None
     trace: str | None = None
+    prom: str | None = None
 
     def __post_init__(self) -> None:
         if not self.circuits:
@@ -281,6 +298,11 @@ def journal_path(out: str | Path) -> Path:
     return Path(f"{out}.partial.jsonl")
 
 
+def status_path(out: str | Path) -> Path:
+    """The live ``status.json`` companion of a manifest path."""
+    return Path(f"{out}.status.json")
+
+
 def _journal_append(path: Path | None, entry: dict) -> None:
     """Durably append one manifest entry; best-effort (a full or
     read-only disk must not kill the campaign that is producing the
@@ -383,9 +405,36 @@ def run_campaign(config: CampaignConfig) -> dict:
 
     if config.trace:
         obs.enable(trace=True, metrics=True)
+    if config.prom:
+        obs.enable(metrics=True)
     store = ArtifactStore(config.cache_dir)
     jobs = resolve_jobs(config.jobs)
     plan = FaultPlan.from_env()
+    if (
+        config.out
+        and live.resolve_heartbeat() > 0
+        and not os.environ.get(live.HEARTBEAT_DIR_ENV, "").strip()
+    ):
+        # Pin the heartbeat run directory next to the manifest before
+        # the first executor resolves (and exports) a tempdir default.
+        os.environ[live.HEARTBEAT_DIR_ENV] = f"{config.out}.hb"
+    executor_mark = executor_stats_snapshot()
+
+    def executor_delta() -> dict:
+        snapshot = executor_stats_snapshot()
+        return {k: v - executor_mark[k] for k, v in snapshot.items()}
+
+    ledger = (
+        live.ProgressLedger(
+            status_path(config.out),
+            [(name, stage) for name in config.circuits
+             for stage in config.stages],
+            config.stages,
+            manifest=config.out,
+        )
+        if config.out
+        else None
+    )
     resumed_entries = (
         load_resume_entries(config.resume) if config.resume else {}
     )
@@ -417,7 +466,13 @@ def run_campaign(config: CampaignConfig) -> dict:
                 entry = dict(previous, resumed=True)
                 entries.append(entry)
                 _journal_append(journal, entry)
+                if ledger is not None:
+                    ledger.stage_finished(
+                        name, stage, "resumed", entry.get("seconds", 0.0)
+                    )
                 continue
+            if ledger is not None:
+                ledger.stage_started(name, stage)
             stage_started = time.perf_counter()
             stage_mark = obs.METRICS.mark()
             with obs.TRACER.span(
@@ -466,6 +521,15 @@ def run_campaign(config: CampaignConfig) -> dict:
                 entry["metrics"] = obs.METRICS.delta_since(stage_mark)
             entries.append(entry)
             _journal_append(journal, entry)
+            if ledger is not None:
+                ledger.stage_finished(
+                    name, stage, entry["status"], entry["seconds"],
+                    executor=executor_delta(),
+                )
+            if config.prom:
+                from repro.obs.sinks import export_prometheus
+
+                export_prometheus(config.prom)
     executed_ok = [
         e for e in entries if e["status"] == "ok" and not e.get("resumed")
     ]
@@ -496,16 +560,26 @@ def run_campaign(config: CampaignConfig) -> dict:
                 "puts": store.stats.puts,
                 "quarantined": store.stats.quarantined,
             },
+            # The run's recovery profile (delta over every executor the
+            # stages built): deterministic counts, unlike the per-entry
+            # timing metrics.
+            "executor": executor_delta(),
         },
     }
     if config.out:
         save_manifest(manifest, config.out)
         if journal is not None:
             journal.unlink(missing_ok=True)
+    if ledger is not None:
+        ledger.finalize(manifest["totals"])
     if config.trace:
         from repro.obs.sinks import export_chrome_trace
 
         export_chrome_trace(config.trace)
+    if config.prom:
+        from repro.obs.sinks import export_prometheus
+
+        export_prometheus(config.prom)
     return manifest
 
 

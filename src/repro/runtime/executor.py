@@ -38,6 +38,23 @@ Failure model (DESIGN.md §10):
   :class:`~repro.errors.TaskTimeoutError` (or is re-dispatched while
   retry budget remains); the stalled pool is torn down and its worker
   processes terminated so a hung task cannot stall the gather forever.
+* **Stalls** (DESIGN.md §12): before the hard deadline tears anything
+  down, a *soft* threshold (``stall_after`` argument >
+  ``REPRO_STALL_AFTER`` > half the hard deadline > off) grades the
+  binary alive/killed signal: a task the gather has waited on past the
+  threshold emits one ``executor.stall`` instant and bumps
+  ``ExecutorStats.stalls``, enriched with the culprit worker's last
+  heartbeat (pid, RSS high-water, open span stack) when the heartbeat
+  channel is on.  Stall detection is pure observation — the wait
+  continues unchanged toward the deadline or the result.
+
+Live health (DESIGN.md §12): with ``REPRO_HEARTBEAT=<seconds>`` set,
+every worker (and the serial path) runs a daemon thread appending
+crash-safe JSONL records — current task, open spans, RSS, CPU — to
+``hb-<pid>.jsonl`` under ``REPRO_HEARTBEAT_DIR`` (the parent creates
+and exports a default so forked workers inherit it).  The channel is
+write-only side traffic: results, ordering and bit-identity are
+untouched, which the heartbeat determinism suite pins.
 * **Pool-infrastructure failures** (a sandbox that forbids ``fork``,
   unpicklable ``fn``/state under spawn) degrade to the serial path with
   a warning — but only genuinely infrastructural errors take that exit:
@@ -58,6 +75,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import tempfile
 import time
 import traceback
 import warnings
@@ -70,11 +88,13 @@ from dataclasses import asdict, dataclass
 
 from repro import obs
 from repro.errors import TaskError, TaskTimeoutError
+from repro.obs import live
 from repro.runtime.faults import FaultPlan, inject_task_fault
 
 __all__ = [
     "Executor",
     "ExecutorStats",
+    "executor_stats_snapshot",
     "resolve_jobs",
     "resolve_task_retries",
     "resolve_task_timeout",
@@ -130,6 +150,9 @@ class ExecutorStats:
         tasks_recovered: completed-or-failed task slots stranded by a
             broken pool and re-dispatched on a later pool (no retry
             budget charged — the culprit is unknowable).
+        stalls: tasks the gather waited on past the *soft* ``stall_after``
+            threshold — the graded early-warning tier below ``timeouts``
+            (a stalled task may still finish, time out, or both).
     """
 
     retries: int = 0
@@ -137,9 +160,24 @@ class ExecutorStats:
     pool_restarts: int = 0
     serial_fallbacks: int = 0
     tasks_recovered: int = 0
+    stalls: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
+
+
+#: Process-wide accumulation across every :class:`Executor` instance.
+#: The campaign aggregates this into its manifest ``totals`` — the
+#: stage drivers build executors internally, so without a global view
+#: their recovery counts would be discarded with the executor objects.
+_GLOBAL_STATS = ExecutorStats()
+
+
+def executor_stats_snapshot() -> dict:
+    """A copy of the process-wide cumulative :class:`ExecutorStats`
+    counts (take one before and after a region and subtract to get the
+    region's recovery profile)."""
+    return _GLOBAL_STATS.as_dict()
 
 
 class _TaskResult:
@@ -213,6 +251,7 @@ def _invoke(fn, task, index, attempt, plan_spec, obs_spec):
     the merged telemetry a deterministic one-snapshot-per-task set.
     """
     token = obs.begin_task_capture(*obs_spec) if obs_spec else None
+    live.note_task(index, attempt)
     started = time.perf_counter()
     try:
         with obs.TRACER.span(
@@ -224,9 +263,11 @@ def _invoke(fn, task, index, attempt, plan_spec, obs_spec):
                 )
             value = fn(_WORKER_STATE, task)
     except Exception as exc:  # noqa: BLE001 - transported to the parent
+        live.clear_task()
         if token is not None:
             obs.end_task_capture(token)
         return _TaskError(exc)
+    live.clear_task()
     if token is None:
         return value
     obs.METRICS.inc("executor.task_seconds", time.perf_counter() - started)
@@ -325,12 +366,26 @@ class Executor:
         task_timeout: float | None = None,
         task_retries: int | None = None,
         retry_backoff: float | None = None,
+        stall_after: float | None = None,
         fault_plan: FaultPlan | None = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.task_timeout = resolve_task_timeout(task_timeout)
         self.task_retries = resolve_task_retries(task_retries)
         self.retry_backoff = _resolve_retry_backoff(retry_backoff)
+        self.stall_after = live.resolve_stall_after(stall_after, self.task_timeout)
+        self.heartbeat = live.resolve_heartbeat()
+        self.heartbeat_dir: str | None = None
+        if self.heartbeat > 0:
+            # Pin the run directory now and export it: forked/spawned
+            # workers inherit the environment, so every hb-<pid>.jsonl
+            # of this run lands in one place the stall detector (and
+            # any external watcher) can read.
+            directory = os.environ.get(live.HEARTBEAT_DIR_ENV, "").strip()
+            if not directory:
+                directory = tempfile.mkdtemp(prefix="repro-hb-")
+                os.environ[live.HEARTBEAT_DIR_ENV] = directory
+            self.heartbeat_dir = directory
         self.fault_plan = (
             fault_plan if fault_plan is not None else FaultPlan.from_env()
         )
@@ -382,9 +437,17 @@ class Executor:
             return self._run_parallel(fn, tasks, state_factory, results)
 
     # ---------------------------------------------------------------- internal
+    def _record(self, field: str, count: int = 1) -> None:
+        """Bump one recovery counter in all three views at once: this
+        executor's :class:`ExecutorStats`, the process-wide accumulator
+        (what :func:`executor_stats_snapshot` reports) and the metrics
+        registry (``executor.<field>``)."""
+        setattr(self.stats, field, getattr(self.stats, field) + count)
+        setattr(_GLOBAL_STATS, field, getattr(_GLOBAL_STATS, field) + count)
+        obs.METRICS.inc(f"executor.{field}", count)
+
     def _warn_fallback(self, cause: BaseException) -> None:
-        self.stats.serial_fallbacks += 1
-        obs.METRICS.inc("executor.serial_fallbacks")
+        self._record("serial_fallbacks")
         obs.TRACER.instant(
             "executor.serial_fallback",
             cause=f"{type(cause).__name__}: {cause}",
@@ -415,6 +478,7 @@ class Executor:
         for i in indices:
             attempt = 0
             while True:
+                live.note_task(i, attempt)
                 try:
                     with obs.TRACER.span("executor.task", index=i,
                                          attempt=attempt):
@@ -424,12 +488,13 @@ class Executor:
                     break
                 except Exception:
                     if attempt >= self.task_retries:
+                        live.clear_task()
                         raise
                     attempt += 1
-                    self.stats.retries += 1
-                    obs.METRICS.inc("executor.retries")
+                    self._record("retries")
                     obs.TRACER.instant("executor.retry", task=i, attempt=attempt)
                     self._backoff(attempt)
+            live.clear_task()
 
     def _run_parallel(self, fn, tasks, state_factory, results) -> list:
         attempts = [0] * len(tasks)
@@ -451,8 +516,7 @@ class Executor:
             for i, value in completed.items():
                 results[i] = value
                 if i in stranded:
-                    self.stats.tasks_recovered += 1
-                    obs.METRICS.inc("executor.tasks_recovered")
+                    self._record("tasks_recovered")
             # Merge successful-attempt snapshots in task order: exactly
             # one per task ever merges, so the aggregated telemetry is
             # deterministic at any worker count or failure pattern.
@@ -464,15 +528,13 @@ class Executor:
                 attempts[i] += 1
                 if attempts[i] > self.task_retries:
                     error.reraise()
-                self.stats.retries += 1
-                obs.METRICS.inc("executor.retries")
+                self._record("retries")
                 obs.TRACER.instant("executor.retry", task=i, attempt=attempts[i])
                 retried = max(retried, attempts[i])
                 next_pending.append(i)
             if timed_out is not None:
                 attempts[timed_out] += 1
-                self.stats.timeouts += 1
-                obs.METRICS.inc("executor.timeouts")
+                self._record("timeouts")
                 obs.TRACER.instant("executor.timeout", task=timed_out,
                                    attempt=attempts[timed_out])
                 if attempts[timed_out] > self.task_retries:
@@ -480,8 +542,7 @@ class Executor:
                         f"task {timed_out} exceeded the {self.task_timeout}s "
                         f"deadline on attempt {attempts[timed_out]}"
                     )
-                self.stats.retries += 1
-                obs.METRICS.inc("executor.retries")
+                self._record("retries")
                 retried = max(retried, attempts[timed_out])
                 next_pending.append(timed_out)
             for i in unfinished:
@@ -504,11 +565,9 @@ class Executor:
                         fn, tasks, state_factory, sorted(next_pending), results
                     )
                     recovered = len(stranded.intersection(next_pending))
-                    self.stats.tasks_recovered += recovered
-                    obs.METRICS.inc("executor.tasks_recovered", recovered)
+                    self._record("tasks_recovered", recovered)
                     return results
-                self.stats.pool_restarts += 1
-                obs.METRICS.inc("executor.pool_restarts")
+                self._record("pool_restarts")
                 obs.TRACER.instant(
                     "executor.pool_restart",
                     round=restarts,
@@ -519,6 +578,64 @@ class Executor:
                 self._backoff(retried)
             pending = sorted(next_pending)
         return results
+
+    def _await_result(self, future, index: int):
+        """``future.result`` with the soft stall tier layered under the
+        hard deadline.
+
+        The wait is sliced so that crossing ``stall_after`` (measured
+        from when the gather starts waiting on this future — the same
+        clock the hard deadline uses) can emit one ``executor.stall``
+        instant, then the wait resumes unchanged: same timeout
+        semantics, same :class:`FuturesTimeout` at the deadline, same
+        result otherwise.  With neither threshold set this is a plain
+        blocking ``result()``.
+        """
+        stall_after = self.stall_after
+        deadline = self.task_timeout
+        if stall_after is None and deadline is None:
+            return future.result()
+        start = time.monotonic()
+        stalled = stall_after is None  # nothing to fire when soft tier off
+        while True:
+            waited = time.monotonic() - start
+            if deadline is not None and waited >= deadline:
+                raise FuturesTimeout()
+            slices = []
+            if deadline is not None:
+                slices.append(deadline - waited)
+            if not stalled:
+                slices.append(max(stall_after - waited, 0.0))
+            try:
+                return future.result(timeout=min(slices) if slices else None)
+            except FuturesTimeout:
+                if not stalled and time.monotonic() - start >= stall_after:
+                    stalled = True
+                    self._note_stall(index, time.monotonic() - start)
+                # Loop re-checks the hard deadline; if only the soft
+                # slice expired the wait simply continues.
+
+    def _note_stall(self, index: int, waited: float) -> None:
+        """Grade a long wait: bump ``stalls`` and emit one
+        ``executor.stall`` instant, enriched with the culprit worker's
+        freshest heartbeat (pid / RSS high-water / open spans) when the
+        heartbeat channel is on.  Observation only — the caller's wait
+        is not shortened, lengthened or resolved by this."""
+        self._record("stalls")
+        attrs: dict = {
+            "task": index,
+            "waited": round(waited, 3),
+            "stall_after": self.stall_after,
+        }
+        if self.heartbeat_dir:
+            beat = live.task_heartbeat(self.heartbeat_dir, index)
+            if beat is not None:
+                attrs["pid"] = beat.get("pid")
+                attrs["rss_kb"] = beat.get("rss_kb")
+                spans = beat.get("spans")
+                if spans:
+                    attrs["spans"] = ">".join(spans)
+        obs.TRACER.instant("executor.stall", **attrs)
 
     def _run_round(self, fn, tasks, state_factory, indices, attempts):
         """One pool lifetime: submit ``indices``, gather what finishes.
@@ -586,7 +703,7 @@ class Executor:
                         unfinished.append(i)
                     continue
                 try:
-                    value = future.result(timeout=self.task_timeout)
+                    value = self._await_result(future, i)
                 except FuturesTimeout:
                     timed_out = i
                 except BrokenProcessPool:

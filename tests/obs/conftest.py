@@ -11,15 +11,24 @@ from __future__ import annotations
 import pytest
 
 from repro import obs
+from repro.obs import live
 
 
 @pytest.fixture(autouse=True)
-def clean_obs():
+def clean_obs(monkeypatch):
     saved = obs.enabled_state()
     obs.enable(trace=False, metrics=False)
     obs.TRACER.reset()
     obs.METRICS.reset()
+    # The heartbeat channel caches its interval and writer process-wide;
+    # drop both (and any ambient enablement) so each test resolves the
+    # channel fresh from the environment it sets up.
+    monkeypatch.delenv(live.HEARTBEAT_ENV, raising=False)
+    monkeypatch.delenv(live.HEARTBEAT_DIR_ENV, raising=False)
+    monkeypatch.delenv(live.STALL_AFTER_ENV, raising=False)
+    live.stop_heartbeat()
     yield
+    live.stop_heartbeat()
     obs.enable(trace=saved[0], metrics=saved[1])
     obs.TRACER.reset()
     obs.METRICS.reset()

@@ -126,4 +126,5 @@ class TestFaultCounters:
             "pool_restarts": 0,
             "serial_fallbacks": 0,
             "tasks_recovered": 0,
+            "stalls": 0,
         }

@@ -77,6 +77,51 @@ class TestBitIdentity:
         assert all("metrics" in e for e in traced["entries"])
         assert (tmp_path / "trace.json").is_file()
 
+    def test_campaign_manifest_identical_with_heartbeats(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import live
+
+        config = dict(
+            circuits=("c432",), stages=("separation", "stuck-at"), jobs=2
+        )
+        plain = run_campaign(
+            CampaignConfig(cache_dir=str(tmp_path / "cache-a"), **config)
+        )
+        monkeypatch.setenv(live.HEARTBEAT_ENV, "0.05")
+        monkeypatch.setenv(live.HEARTBEAT_DIR_ENV, str(tmp_path / "hb"))
+        live.stop_heartbeat()
+        try:
+            beating = run_campaign(
+                CampaignConfig(cache_dir=str(tmp_path / "cache-b"), **config)
+            )
+        finally:
+            live.stop_heartbeat()
+        assert _strip_timing(plain) == _strip_timing(beating)
+        assert list((tmp_path / "hb").glob("hb-*.jsonl"))
+
+    def test_campaign_heartbeats_under_fault_plan_identical(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import live
+
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "stage:c432/stuck-at:error")
+        config = dict(circuits=("c432",), stages=("separation", "stuck-at"))
+        plain = run_campaign(
+            CampaignConfig(cache_dir=str(tmp_path / "cache-a"), **config)
+        )
+        monkeypatch.setenv(live.HEARTBEAT_ENV, "0.05")
+        monkeypatch.setenv(live.HEARTBEAT_DIR_ENV, str(tmp_path / "hb"))
+        live.stop_heartbeat()
+        try:
+            beating = run_campaign(
+                CampaignConfig(cache_dir=str(tmp_path / "cache-b"), **config)
+            )
+        finally:
+            live.stop_heartbeat()
+        assert [e["status"] for e in plain["entries"]] == ["ok", "failed"]
+        assert _strip_timing(plain) == _strip_timing(beating)
+
     def test_campaign_under_fault_plan_identical(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_FAULT_PLAN", "stage:c432/stuck-at:error")
         config = dict(circuits=("c432",), stages=("separation", "stuck-at"))

@@ -126,6 +126,32 @@ class TestReport:
         assert main(["trace-report", str(path)]) == 0
         assert "span" in capsys.readouterr().out
 
+    def test_trace_report_cli_degrades_gracefully(self, tmp_path, capsys):
+        # Operator errors (missing, empty, truncated, non-trace input)
+        # are one readable line on stderr and exit 1 — not a traceback.
+        from repro.experiments.__main__ import main
+
+        missing = tmp_path / "nope.json"
+        assert main(["trace-report", str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert "trace-report: cannot read" in err
+        assert "Traceback" not in err
+
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert main(["trace-report", str(empty)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+        truncated = tmp_path / "trunc.json"
+        truncated.write_text('{"traceEvents": [{"ph": "X"')
+        assert main(["trace-report", str(truncated)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"foo": 1}')
+        assert main(["trace-report", str(wrong)]) == 1
+        assert "traceEvents" in capsys.readouterr().err
+
     def test_bad_trace_files_rejected(self, tmp_path):
         missing = tmp_path / "nope.json"
         with pytest.raises(ExperimentError, match="cannot read"):

@@ -188,3 +188,116 @@ class TestCampaignCLI:
         assert not out.with_name(out.name + ".partial.jsonl").exists()
         printed = capsys.readouterr().out
         assert "stages from cache" in printed
+
+
+class TestCampaignStatus:
+    """The live progress ledger (DESIGN.md §12): <out>.status.json."""
+
+    def test_status_converges_to_manifest(self, tmp_path):
+        out = tmp_path / "manifest.json"
+        manifest = run_campaign(
+            CampaignConfig(
+                circuits=("c432",),
+                stages=("separation", "stuck-at"),
+                cache_dir=str(tmp_path / "cache"),
+                out=str(out),
+            )
+        )
+        status = json.loads((tmp_path / "manifest.json.status.json").read_text())
+        assert status["state"] == "done"
+        assert status["counts"]["ok"] == 2
+        assert status["counts"]["pending"] == 0
+        assert status["counts"]["total"] == len(manifest["entries"])
+        # The final document embeds the manifest totals verbatim.
+        assert status["totals"] == manifest["totals"]
+        assert status["manifest"] == str(out)
+
+    def test_manifest_executor_totals(self, tmp_path):
+        manifest = run_campaign(
+            CampaignConfig(
+                circuits=("c432",),
+                stages=("separation",),
+                cache_dir=str(tmp_path / "cache"),
+            )
+        )
+        assert manifest["schema"] == MANIFEST_SCHEMA == 4
+        executor = manifest["totals"]["executor"]
+        assert set(executor) == {
+            "retries", "timeouts", "pool_restarts", "serial_fallbacks",
+            "tasks_recovered", "stalls",
+        }
+        assert all(v == 0 for v in executor.values())
+
+    def test_status_counts_resumed_entries(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        out = tmp_path / "manifest.json"
+        config = dict(
+            circuits=("c432",), stages=("separation", "stuck-at"),
+            cache_dir=cache, out=str(out),
+        )
+        run_campaign(CampaignConfig(**config))
+        run_campaign(CampaignConfig(resume=str(out), **config))
+        status = json.loads((tmp_path / "manifest.json.status.json").read_text())
+        assert status["state"] == "done"
+        assert status["counts"]["resumed"] == 2
+        assert status["counts"]["pending"] == 0
+
+    def test_heartbeat_dir_defaults_next_to_manifest(self, tmp_path, monkeypatch):
+        from repro.obs import live
+
+        monkeypatch.setenv(live.HEARTBEAT_ENV, "0.05")
+        monkeypatch.delenv(live.HEARTBEAT_DIR_ENV, raising=False)
+        live.stop_heartbeat()
+        out = tmp_path / "manifest.json"
+        try:
+            run_campaign(
+                CampaignConfig(
+                    circuits=("c432",),
+                    stages=("separation", "stuck-at"),
+                    jobs=2,
+                    cache_dir=str(tmp_path / "cache"),
+                    out=str(out),
+                )
+            )
+        finally:
+            live.stop_heartbeat()
+        hb_dir = tmp_path / "manifest.json.hb"
+        assert hb_dir.is_dir()
+        assert list(hb_dir.glob("hb-*.jsonl"))
+
+    def test_status_cli(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "manifest.json"
+        run_campaign(
+            CampaignConfig(
+                circuits=("c432",),
+                stages=("separation",),
+                cache_dir=str(tmp_path / "cache"),
+                out=str(out),
+            )
+        )
+        # All three addressing modes: manifest path, status file, dir.
+        assert main(["status", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "campaign done" in rendered
+        assert "1/1 stages" in rendered
+        assert main(["status", str(out) + ".status.json"]) == 0
+        assert "campaign done" in capsys.readouterr().out
+
+    def test_status_cli_missing_and_invalid(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["status", str(tmp_path / "nope.json")]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "Traceback" not in err
+        bad = tmp_path / "bad.status.json"
+        bad.write_text("{torn")
+        assert main(["status", str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_campaign_watch_requires_out(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["campaign", "--circuits", "c432", "--watch"]) == 2
+        assert "--watch needs --out" in capsys.readouterr().err
